@@ -1,0 +1,50 @@
+//! MVMM mixture machinery: the Newton σ-fit (Eq. 7–10) and full mixture
+//! training with parallel vs serial component training (§V-G).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqp_core::{fit_mixture_sigmas, FitConfig, Mvmm, MvmmConfig};
+use std::hint::black_box;
+
+fn synthetic_fit_inputs(n_seq: usize, k: usize) -> (Vec<f64>, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let p = vec![1.0 / n_seq as f64; n_seq];
+    let a: Vec<Vec<f64>> = (0..n_seq)
+        .map(|t| {
+            (0..k)
+                .map(|d| 0.05 + 0.9 * (((t * 7 + d * 13) % 17) as f64 / 17.0))
+                .collect()
+        })
+        .collect();
+    let d: Vec<Vec<f64>> = (0..n_seq)
+        .map(|t| (0..k).map(|d| ((t + d) % 4) as f64).collect())
+        .collect();
+    (p, a, d)
+}
+
+fn bench_mixture(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mixture");
+    group.sample_size(10);
+
+    for &(n_seq, k) in &[(500usize, 3usize), (2_000, 11)] {
+        let (p, a, d) = synthetic_fit_inputs(n_seq, k);
+        group.bench_with_input(
+            BenchmarkId::new("newton_fit", format!("{n_seq}seq_{k}comp")),
+            &(p, a, d),
+            |b, (p, a, d)| b.iter(|| black_box(fit_mixture_sigmas(p, a, d, &FitConfig::default()))),
+        );
+    }
+
+    let sessions = sqp_bench::bench_sessions(4_000, 42);
+    for parallel in [false, true] {
+        let mut cfg = MvmmConfig::small();
+        cfg.parallel = parallel;
+        group.bench_with_input(
+            BenchmarkId::new("mvmm_train", if parallel { "parallel" } else { "serial" }),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(Mvmm::train(&sessions, cfg))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixture);
+criterion_main!(benches);

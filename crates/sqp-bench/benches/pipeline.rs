@@ -1,0 +1,47 @@
+//! Log-pipeline throughput: segmentation (30-minute rule), aggregation and
+//! reduction over raw click records (§V-A), plus the record codecs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqp_common::Interner;
+use sqp_sessions::{aggregate, reduce, segment_default};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+
+    for &n in &[5_000usize, 10_000] {
+        let records = sqp_bench::bench_records(n, 42);
+        group.bench_with_input(BenchmarkId::new("segment", n), &records, |b, r| {
+            b.iter(|| black_box(segment_default(r)))
+        });
+
+        let sessions = segment_default(&records);
+        group.bench_with_input(BenchmarkId::new("aggregate", n), &sessions, |b, s| {
+            b.iter(|| {
+                let mut interner = Interner::new();
+                black_box(aggregate(s, &mut interner))
+            })
+        });
+
+        let mut interner = Interner::new();
+        let aggregated = aggregate(&sessions, &mut interner);
+        group.bench_with_input(BenchmarkId::new("reduce", n), &aggregated, |b, a| {
+            b.iter(|| black_box(reduce(a, 1)))
+        });
+    }
+
+    // Serialization codecs.
+    let records = sqp_bench::bench_records(5_000, 42);
+    group.bench_function("encode_binary", |b| {
+        b.iter(|| black_box(sqp_logsim::record::encode(&records)))
+    });
+    let blob = sqp_logsim::record::encode(&records);
+    group.bench_function("decode_binary", |b| {
+        b.iter(|| black_box(sqp_logsim::record::decode(blob.clone()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Online recommendation latency per model and context length — the paper's
+//! §V-G claim: prediction is O(D), constant-ish in corpus size and fast
+//! enough for real-time deployment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqp_core::{Adjacency, Mvmm, MvmmConfig, NGram, Recommender, Vmm, VmmConfig};
+use std::hint::black_box;
+
+fn bench_prediction(c: &mut Criterion) {
+    let n = 8_000;
+    let sessions = sqp_bench::bench_sessions(n, 42);
+    let adj = Adjacency::train(&sessions);
+    let ngram = NGram::train(&sessions);
+    let vmm = Vmm::train(&sessions, VmmConfig::with_epsilon(0.05));
+    let mvmm = Mvmm::train(&sessions, &MvmmConfig::small());
+
+    let mut group = c.benchmark_group("prediction");
+    for len in [1usize, 2, 3] {
+        let contexts = sqp_bench::bench_contexts(n, 42, len, 64);
+        if contexts.is_empty() {
+            continue;
+        }
+        let models: Vec<(&str, &dyn Recommender)> = vec![
+            ("adjacency", &adj),
+            ("ngram", &ngram),
+            ("vmm_0.05", &vmm),
+            ("mvmm", &mvmm),
+        ];
+        for (name, model) in models {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("len{len}")),
+                &contexts,
+                |b, ctxs| {
+                    b.iter(|| {
+                        for ctx in ctxs {
+                            black_box(model.recommend(black_box(ctx), 5));
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

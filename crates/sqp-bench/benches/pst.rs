@@ -1,0 +1,47 @@
+//! PST internals: window counting, tree construction, longest-suffix lookup,
+//! and the escape recursion — the O(|Q*|·Dn²) / O(D) bounds of §IV-B.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqp_core::counts::WindowCounts;
+use sqp_core::{Vmm, VmmConfig};
+use std::hint::black_box;
+
+fn bench_pst(c: &mut Criterion) {
+    let sessions = sqp_bench::bench_sessions(8_000, 42);
+
+    let mut group = c.benchmark_group("pst");
+    group.sample_size(20);
+
+    group.bench_function("window_counts_unbounded", |b| {
+        b.iter(|| black_box(WindowCounts::build(&sessions, None)))
+    });
+    for d in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("window_counts", d), &d, |b, &d| {
+            b.iter(|| black_box(WindowCounts::build(&sessions, Some(d))))
+        });
+    }
+
+    let vmm = Vmm::train(&sessions, VmmConfig::with_epsilon(0.05));
+    let contexts = sqp_bench::bench_contexts(8_000, 42, 2, 128);
+    if !contexts.is_empty() {
+        group.bench_function("longest_suffix_lookup", |b| {
+            b.iter(|| {
+                for ctx in &contexts {
+                    black_box(vmm.match_state(black_box(ctx)));
+                }
+            })
+        });
+        group.bench_function("cond_prob_escaped", |b| {
+            let q = contexts[0][0];
+            b.iter(|| {
+                for ctx in &contexts {
+                    black_box(vmm.cond_prob_escaped(black_box(ctx), q));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pst);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Training throughput per model at two corpus sizes — the criterion
+//! counterpart of the paper's Figure 12 (training time scales linearly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqp_core::{Adjacency, Cooccurrence, Mvmm, MvmmConfig, NGram, Vmm, VmmConfig};
+use std::hint::black_box;
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+
+    for &n in &[4_000usize, 8_000] {
+        let sessions = sqp_bench::bench_sessions(n, 42);
+
+        group.bench_with_input(BenchmarkId::new("adjacency", n), &sessions, |b, s| {
+            b.iter(|| black_box(Adjacency::train(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("cooccurrence", n), &sessions, |b, s| {
+            b.iter(|| black_box(Cooccurrence::train(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("ngram", n), &sessions, |b, s| {
+            b.iter(|| black_box(NGram::train(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("vmm_0.05", n), &sessions, |b, s| {
+            b.iter(|| black_box(Vmm::train(s, VmmConfig::with_epsilon(0.05))))
+        });
+        group.bench_with_input(BenchmarkId::new("mvmm_small", n), &sessions, |b, s| {
+            b.iter(|| black_box(Mvmm::train(s, &MvmmConfig::small())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Shared fixtures for the criterion benchmarks.
+//!
+//! Benchmarks need identical, deterministic datasets across runs so that
+//! criterion's statistics compare like against like; this crate builds them
+//! once per process.
+
+use sqp_common::QuerySeq;
+use sqp_sessions::pipeline::{PipelineConfig, ProcessedLogs};
+
+/// Build a deterministic processed corpus of roughly `n_sessions` simulated
+/// sessions suitable for training benchmarks.
+pub fn bench_corpus(n_sessions: usize, seed: u64) -> ProcessedLogs {
+    let sim = sqp_logsim::SimConfig::small(n_sessions, n_sessions / 4, seed);
+    let logs = sqp_logsim::generate(&sim);
+    sqp_sessions::pipeline::process(&logs, &PipelineConfig::default())
+}
+
+/// Weighted training sessions from a corpus (cloned so the bench owns them).
+pub fn bench_sessions(n_sessions: usize, seed: u64) -> Vec<(QuerySeq, u64)> {
+    bench_corpus(n_sessions, seed)
+        .train
+        .aggregated
+        .sessions
+        .clone()
+}
+
+/// Raw log records for pipeline benchmarks.
+pub fn bench_records(n_sessions: usize, seed: u64) -> Vec<sqp_logsim::RawLogRecord> {
+    let sim = sqp_logsim::SimConfig::small(n_sessions, 10, seed);
+    sqp_logsim::generate(&sim).train
+}
+
+/// Evaluation contexts (one per ground-truth entry) grouped by length.
+pub fn bench_contexts(n_sessions: usize, seed: u64, len: usize, take: usize) -> Vec<QuerySeq> {
+    bench_corpus(n_sessions, seed)
+        .ground_truth
+        .by_length(len)
+        .take(take)
+        .map(|e| e.context.clone())
+        .collect()
+}

@@ -1,0 +1,170 @@
+//! Edit distances.
+//!
+//! Two uses in the workspace:
+//! * the MVMM mixture weight `w(D,T)` is a Gaussian of the edit distance
+//!   between the live user context and the PST state a component matched
+//!   (sequences of `QueryId`s);
+//! * the session-pattern classifier detects *spelling change* via character
+//!   edit distance between query strings.
+
+/// Levenshtein distance between two slices of any `Eq` items
+/// (insertions, deletions and substitutions all cost 1).
+///
+/// Two-row dynamic program: O(|a|·|b|) time, O(min(|a|,|b|)) space.
+pub fn levenshtein<T: Eq>(a: &[T], b: &[T]) -> usize {
+    // Ensure `b` is the shorter side so the row stays small.
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ai) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, bj) in b.iter().enumerate() {
+            let cost = usize::from(ai != bj);
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[b.len()]
+}
+
+/// Levenshtein distance between two strings, by Unicode scalar values.
+pub fn levenshtein_str(a: &str, b: &str) -> usize {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    levenshtein(&av, &bv)
+}
+
+/// Normalized string edit distance in [0, 1]: distance / max(len).
+/// Returns 0 for two empty strings.
+pub fn normalized_levenshtein_str(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 0.0;
+    }
+    levenshtein_str(a, b) as f64 / max_len as f64
+}
+
+/// Damerau-style check used by the spelling classifier: true when `a` and `b`
+/// differ by a single adjacent transposition (e.g. "goggle" vs "google" is a
+/// substitution, "form" vs "from" is a transposition).
+pub fn is_adjacent_transposition(a: &str, b: &str) -> bool {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    if av.len() != bv.len() {
+        return false;
+    }
+    let diffs: Vec<usize> = (0..av.len()).filter(|&i| av[i] != bv[i]).collect();
+    matches!(diffs.as_slice(),
+        &[i, j] if j == i + 1 && av[i] == bv[j] && av[j] == bv[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(levenshtein_str("kitten", "sitting"), 3);
+        assert_eq!(levenshtein_str("goggle", "google"), 1); // paper's Table I typo
+        assert_eq!(levenshtein_str("youtub", "youtube"), 1);
+        assert_eq!(levenshtein_str("", ""), 0);
+        assert_eq!(levenshtein_str("abc", ""), 3);
+        assert_eq!(levenshtein_str("", "abc"), 3);
+    }
+
+    #[test]
+    fn works_on_id_slices() {
+        assert_eq!(levenshtein(&[1u32, 2, 3], &[1, 3]), 1);
+        assert_eq!(levenshtein(&[1u32, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(levenshtein::<u32>(&[], &[7, 8]), 2);
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        assert_eq!(normalized_levenshtein_str("", ""), 0.0);
+        assert_eq!(normalized_levenshtein_str("abc", "abc"), 0.0);
+        assert_eq!(normalized_levenshtein_str("abc", "xyz"), 1.0);
+        let d = normalized_levenshtein_str("google", "goggle");
+        assert!(d > 0.0 && d < 0.5);
+    }
+
+    #[test]
+    fn transposition_detection() {
+        assert!(is_adjacent_transposition("form", "from"));
+        assert!(is_adjacent_transposition("gogole", "google"));
+        assert!(!is_adjacent_transposition("google", "google"));
+        assert!(!is_adjacent_transposition("goggle", "google")); // substitution
+        assert!(!is_adjacent_transposition("abc", "abcd"));
+    }
+
+    #[test]
+    fn symmetry_small_cases() {
+        let cases = [("abc", "acb"), ("query one", "query two"), ("a", "")];
+        for (a, b) in cases {
+            assert_eq!(levenshtein_str(a, b), levenshtein_str(b, a));
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn identity(a in "[a-c]{0,12}") {
+            prop_assert_eq!(levenshtein_str(&a, &a), 0);
+        }
+
+        #[test]
+        fn symmetry(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
+            prop_assert_eq!(levenshtein_str(&a, &b), levenshtein_str(&b, &a));
+        }
+
+        #[test]
+        fn upper_and_lower_bounds(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
+            let d = levenshtein_str(&a, &b);
+            let (la, lb) = (a.chars().count(), b.chars().count());
+            prop_assert!(d <= la.max(lb));
+            prop_assert!(d >= la.abs_diff(lb));
+            prop_assert_eq!(d == 0, a == b);
+        }
+
+        #[test]
+        fn triangle_inequality(
+            a in "[a-b]{0,8}", b in "[a-b]{0,8}", c in "[a-b]{0,8}"
+        ) {
+            let ab = levenshtein_str(&a, &b);
+            let bc = levenshtein_str(&b, &c);
+            let ac = levenshtein_str(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn single_edit_is_distance_one(a in "[a-z]{1,10}", idx in 0usize..10) {
+            let chars: Vec<char> = a.chars().collect();
+            let i = idx % chars.len();
+            let mut edited = chars.clone();
+            edited[i] = if edited[i] == 'z' { 'a' } else { 'z' };
+            let edited: String = edited.into_iter().collect();
+            prop_assert_eq!(levenshtein_str(&a, &edited), 1);
+        }
+
+        #[test]
+        fn id_slices_match_char_encoding(
+            a in proptest::collection::vec(0u32..4, 0..10),
+            b in proptest::collection::vec(0u32..4, 0..10),
+        ) {
+            // Encode ids as distinct chars and compare implementations.
+            let enc = |v: &[u32]| -> String {
+                v.iter().map(|&x| (b'a' + x as u8) as char).collect()
+            };
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein_str(&enc(&a), &enc(&b)));
+        }
+    }
+}

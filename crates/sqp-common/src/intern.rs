@@ -1,0 +1,245 @@
+//! Query-string interning.
+//!
+//! The paper's corpus has ~1.1B unique queries; ours is smaller but the same
+//! principle applies: every query string is stored exactly once and all
+//! downstream structures hold dense 4-byte [`QueryId`]s. The interner is the
+//! single owner of query text.
+
+use crate::hash::FxHashMap;
+use crate::QueryId;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Bijective map between query strings and [`QueryId`]s.
+///
+/// Ids are assigned densely in first-seen order, so `resolve` is an O(1)
+/// vector index and parallel arrays indexed by `QueryId::index()` are cheap.
+#[derive(Default, Debug)]
+pub struct Interner {
+    map: FxHashMap<Box<str>, QueryId>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an interner sized for roughly `capacity` distinct queries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            strings: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Intern `query`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, query: &str) -> QueryId {
+        if let Some(&id) = self.map.get(query) {
+            return id;
+        }
+        let id = QueryId(u32::try_from(self.strings.len()).expect("more than u32::MAX queries"));
+        let boxed: Box<str> = query.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, id);
+        id
+    }
+
+    /// Look up an id without interning. Returns `None` for unseen queries.
+    pub fn get(&self, query: &str) -> Option<QueryId> {
+        self.map.get(query).copied()
+    }
+
+    /// Resolve an id back to its string.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: QueryId) -> &str {
+        &self.strings[id.index()]
+    }
+
+    /// Resolve an id, returning `None` if out of range.
+    pub fn try_resolve(&self, id: QueryId) -> Option<&str> {
+        self.strings.get(id.index()).map(|s| s.as_ref())
+    }
+
+    /// Number of distinct interned queries, the paper's `|Q|`.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when no query has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate `(id, string)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (QueryId, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (QueryId(i as u32), s.as_ref()))
+    }
+
+    /// Intern every element of a textual session, producing an id sequence.
+    pub fn intern_session<S: AsRef<str>>(&mut self, queries: &[S]) -> crate::QuerySeq {
+        queries.iter().map(|q| self.intern(q.as_ref())).collect()
+    }
+
+    /// Render an id sequence as human-readable ` ⇒ `-joined text.
+    pub fn render(&self, seq: &[QueryId]) -> String {
+        seq.iter()
+            .map(|&q| self.resolve(q))
+            .collect::<Vec<_>>()
+            .join(" => ")
+    }
+}
+
+impl crate::mem::HeapSize for Interner {
+    fn heap_size_bytes(&self) -> usize {
+        let strings: usize = self
+            .strings
+            .iter()
+            .map(|s| s.len() + std::mem::size_of::<Box<str>>())
+            .sum();
+        // Map keys share content size with `strings` clones; count them too,
+        // plus per-entry table overhead.
+        let map_entries = self.map.len()
+            * (std::mem::size_of::<Box<str>>() + std::mem::size_of::<QueryId>() + 8);
+        let map_content: usize = self.map.keys().map(|k| k.len()).sum();
+        strings + map_entries + map_content + self.strings.capacity() * std::mem::size_of::<Box<str>>()
+    }
+}
+
+/// Thread-shareable interner for the parallel training paths.
+#[derive(Clone, Default)]
+pub struct SharedInterner {
+    inner: Arc<RwLock<Interner>>,
+}
+
+impl SharedInterner {
+    /// Wrap a fresh interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap an existing interner.
+    pub fn from_interner(interner: Interner) -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(interner)),
+        }
+    }
+
+    /// Intern with a write lock.
+    pub fn intern(&self, query: &str) -> QueryId {
+        self.inner.write().intern(query)
+    }
+
+    /// Read-only lookup.
+    pub fn get(&self, query: &str) -> Option<QueryId> {
+        self.inner.read().get(query)
+    }
+
+    /// Resolve to an owned string (the lock cannot escape).
+    pub fn resolve_owned(&self, id: QueryId) -> Option<String> {
+        self.inner.read().try_resolve(id).map(str::to_owned)
+    }
+
+    /// Distinct query count.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Run `f` with the underlying interner borrowed read-only.
+    pub fn with<R>(&self, f: impl FnOnce(&Interner) -> R) -> R {
+        f(&self.inner.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("kidney stones");
+        let b = i.intern("kidney stones");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        let c = i.intern("c");
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i = Interner::new();
+        let id = i.intern("nokia n73 themes");
+        assert_eq!(i.resolve(id), "nokia n73 themes");
+        assert_eq!(i.get("nokia n73 themes"), Some(id));
+        assert_eq!(i.get("unknown"), None);
+        assert!(i.try_resolve(QueryId(999)).is_none());
+    }
+
+    #[test]
+    fn intern_session_and_render() {
+        let mut i = Interner::new();
+        let s = i.intern_session(&["sign language", "learn sign language"]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(i.render(&s), "sign language => learn sign language");
+    }
+
+    #[test]
+    fn iter_visits_in_id_order() {
+        let mut i = Interner::new();
+        i.intern("x");
+        i.intern("y");
+        let collected: Vec<_> = i.iter().map(|(id, s)| (id.0, s.to_owned())).collect();
+        assert_eq!(collected, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
+    }
+
+    #[test]
+    fn shared_interner_threaded() {
+        let shared = SharedInterner::new();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                for k in 0..100 {
+                    s.intern(&format!("query-{}", (t * 7 + k) % 50));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.len(), 50);
+        let id = shared.get("query-0").unwrap();
+        assert_eq!(shared.resolve_owned(id).unwrap(), "query-0");
+    }
+
+    #[test]
+    fn heap_size_grows_with_content() {
+        use crate::mem::HeapSize;
+        let mut small = Interner::new();
+        small.intern("a");
+        let mut big = Interner::new();
+        for k in 0..1000 {
+            big.intern(&format!("some longer query text number {k}"));
+        }
+        assert!(big.heap_size_bytes() > small.heap_size_bytes());
+    }
+}

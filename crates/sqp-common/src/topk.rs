@@ -1,0 +1,181 @@
+//! Deterministic top-k selection.
+//!
+//! Every recommender returns the k highest-scoring candidate queries. Ties
+//! must break deterministically (by ascending id) so that experiments are
+//! reproducible bit-for-bit across runs and platforms.
+
+use crate::QueryId;
+use std::cmp::Ordering;
+
+/// A scored recommendation candidate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Scored {
+    /// Candidate query.
+    pub query: QueryId,
+    /// Model score (higher is better); NaN is not permitted.
+    pub score: f64,
+}
+
+impl Scored {
+    /// Construct a candidate.
+    pub fn new(query: QueryId, score: f64) -> Self {
+        debug_assert!(!score.is_nan(), "NaN score for {query}");
+        Self { query, score }
+    }
+}
+
+/// Total order: higher score first, ties by ascending query id.
+fn cmp_desc(a: &Scored, b: &Scored) -> Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.query.cmp(&b.query))
+}
+
+/// Select the top `k` items from `items`, ordered best-first.
+///
+/// Uses a full sort for small inputs and a bounded selection otherwise;
+/// output ordering is always the deterministic total order above.
+pub fn top_k(mut items: Vec<Scored>, k: usize) -> Vec<Scored> {
+    if k == 0 || items.is_empty() {
+        return Vec::new();
+    }
+    if items.len() > k * 4 && items.len() > 64 {
+        // Partial selection first to avoid sorting the long tail.
+        items.select_nth_unstable_by(k - 1, cmp_desc);
+        items.truncate(k);
+    }
+    items.sort_unstable_by(cmp_desc);
+    items.truncate(k);
+    items
+}
+
+/// Top-k over `(QueryId, u64)` count pairs — the common case when ranking
+/// next-query candidates straight from frequency counts.
+pub fn top_k_counts<I: IntoIterator<Item = (QueryId, u64)>>(counts: I, k: usize) -> Vec<Scored> {
+    top_k(
+        counts
+            .into_iter()
+            .map(|(q, c)| Scored::new(q, c as f64))
+            .collect(),
+        k,
+    )
+}
+
+/// Merge scored lists (summing scores of duplicate queries) and take top-k.
+/// Used by the MVMM when combining component predictions.
+pub fn merge_top_k(lists: &[Vec<Scored>], k: usize) -> Vec<Scored> {
+    let mut acc: crate::FxHashMap<QueryId, f64> = crate::FxHashMap::default();
+    for list in lists {
+        for s in list {
+            *acc.entry(s.query).or_insert(0.0) += s.score;
+        }
+    }
+    top_k(
+        acc.into_iter().map(|(q, s)| Scored::new(q, s)).collect(),
+        k,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(q: u32, score: f64) -> Scored {
+        Scored::new(QueryId(q), score)
+    }
+
+    #[test]
+    fn orders_by_score_desc() {
+        let out = top_k(vec![s(1, 0.2), s(2, 0.9), s(3, 0.5)], 3);
+        let ids: Vec<u32> = out.iter().map(|x| x.query.0).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_ascending_id() {
+        let out = top_k(vec![s(9, 1.0), s(3, 1.0), s(5, 1.0)], 2);
+        let ids: Vec<u32> = out.iter().map(|x| x.query.0).collect();
+        assert_eq!(ids, vec![3, 5]);
+    }
+
+    #[test]
+    fn truncates_to_k() {
+        let items: Vec<Scored> = (0..100).map(|i| s(i, i as f64)).collect();
+        let out = top_k(items, 5);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0].query.0, 99);
+        assert_eq!(out[4].query.0, 95);
+    }
+
+    #[test]
+    fn k_zero_and_empty() {
+        assert!(top_k(vec![s(1, 1.0)], 0).is_empty());
+        assert!(top_k(Vec::new(), 5).is_empty());
+    }
+
+    #[test]
+    fn counts_helper() {
+        let out = top_k_counts([(QueryId(7), 3u64), (QueryId(2), 10)], 1);
+        assert_eq!(out[0].query.0, 2);
+        assert_eq!(out[0].score, 10.0);
+    }
+
+    #[test]
+    fn merge_sums_duplicates() {
+        let a = vec![s(1, 0.5), s(2, 0.1)];
+        let b = vec![s(1, 0.4), s(3, 0.3)];
+        let out = merge_top_k(&[a, b], 3);
+        assert_eq!(out[0].query.0, 1);
+        assert!((out[0].score - 0.9).abs() < 1e-12);
+        assert_eq!(out[1].query.0, 3);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn equals_full_sort_prefix(
+            scores in proptest::collection::vec((0u32..64, 0u64..50), 0..200),
+            k in 0usize..16,
+        ) {
+            // Deduplicate ids to keep the expected order well-defined.
+            let mut seen = std::collections::HashSet::new();
+            let items: Vec<Scored> = scores
+                .into_iter()
+                .filter(|(q, _)| seen.insert(*q))
+                .map(|(q, c)| Scored::new(QueryId(q), c as f64))
+                .collect();
+
+            let mut expect = items.clone();
+            expect.sort_by(|a, b| {
+                b.score.partial_cmp(&a.score).unwrap()
+                    .then_with(|| a.query.cmp(&b.query))
+            });
+            expect.truncate(k);
+
+            let got = top_k(items, k);
+            prop_assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn output_is_sorted_and_bounded(
+            scores in proptest::collection::vec((0u32..1000, 0.0f64..100.0), 0..300),
+            k in 1usize..10,
+        ) {
+            let items: Vec<Scored> = scores
+                .into_iter()
+                .map(|(q, sc)| Scored::new(QueryId(q), sc))
+                .collect();
+            let out = top_k(items, k);
+            prop_assert!(out.len() <= k);
+            for w in out.windows(2) {
+                prop_assert!(w[0].score >= w[1].score);
+            }
+        }
+    }
+}

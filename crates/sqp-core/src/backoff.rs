@@ -1,0 +1,336 @@
+//! Katz-style back-off N-gram — reference \[18\] of the paper.
+//!
+//! §IV-B introduces the VMM as "a variation of back-off N-gram"; this module
+//! implements the original variation point so the two can be compared (the
+//! paper's §VI asks for a study of "all the different N-gram variations").
+//!
+//! Differences from the naive [`crate::NGram`]:
+//! * contexts are counted at **any** session position (like the VMM), not
+//!   just as session prefixes;
+//! * an unmatched context **backs off** to its suffix instead of failing,
+//!   paying an absolute-discount penalty.
+//!
+//! Differences from the [`crate::Vmm`]:
+//! * no KL growth criterion — every observed context up to the order bound
+//!   becomes a state;
+//! * back-off mass comes from absolute discounting (δ per observed
+//!   continuation type), not from the session-start escape of Eq. (6).
+
+use crate::counts::WindowCounts;
+use crate::model::{Recommender, SequenceScorer, WeightedSessions};
+use sqp_common::mem::HASH_ENTRY_OVERHEAD;
+use sqp_common::topk::Scored;
+use sqp_common::{FxHashMap, QueryId, QuerySeq};
+
+/// Back-off N-gram configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BackoffConfig {
+    /// Maximum context length (the model's N − 1). `None` = unbounded.
+    pub max_order: Option<usize>,
+    /// Absolute discount δ ∈ (0, 1) subtracted from every observed
+    /// continuation count to fund the back-off mass.
+    pub discount: f64,
+    /// Minimum continuation support for a context to become a state.
+    pub min_support: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        Self {
+            max_order: Some(4),
+            discount: 0.5,
+            min_support: 1,
+        }
+    }
+}
+
+struct State {
+    /// Observed continuations `(query, count)`, sorted by descending count.
+    next: Box<[(QueryId, u64)]>,
+    /// Total continuation mass.
+    total: u64,
+}
+
+impl State {
+    /// Discounted probability of an observed continuation, 0 if unobserved.
+    fn discounted_prob(&self, q: QueryId, delta: f64) -> f64 {
+        self.next
+            .iter()
+            .find(|(c, _)| *c == q)
+            .map(|(_, count)| (*count as f64 - delta).max(0.0) / self.total as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Mass reserved for backing off: δ · (#continuation types) / total.
+    fn backoff_mass(&self, delta: f64) -> f64 {
+        (delta * self.next.len() as f64 / self.total as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// The trained back-off model.
+pub struct BackoffNgram {
+    states: FxHashMap<QuerySeq, State>,
+    /// Unigram distribution (the back-off floor), sorted by count.
+    unigrams: Box<[(QueryId, u64)]>,
+    unigram_total: u64,
+    config: BackoffConfig,
+    n_queries: usize,
+}
+
+impl BackoffNgram {
+    /// Train on weighted sessions.
+    pub fn train(sessions: &WeightedSessions, config: BackoffConfig) -> Self {
+        let counts = WindowCounts::build(sessions, config.max_order);
+        let mut states = FxHashMap::default();
+        for ctx in counts.candidates(config.min_support) {
+            let next = counts.ml_counts(&ctx).into_boxed_slice();
+            let total = next.iter().map(|(_, c)| c).sum();
+            states.insert(ctx, State { next, total });
+        }
+        let unigrams: Box<[(QueryId, u64)]> = counts.root_counts().sorted_desc().into();
+        let unigram_total = unigrams.iter().map(|(_, c)| c).sum();
+        BackoffNgram {
+            states,
+            unigrams,
+            unigram_total,
+            config,
+            n_queries: counts.n_queries.max(1),
+        }
+    }
+
+    /// Number of stored context states (excluding the unigram floor).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Longest suffix of `context` that is a state, if any.
+    pub fn longest_suffix<'a>(&self, context: &'a [QueryId]) -> Option<&'a [QueryId]> {
+        for start in 0..context.len() {
+            let suffix = &context[start..];
+            if self.config.max_order.is_some_and(|d| suffix.len() > d) {
+                continue;
+            }
+            if self.states.contains_key(suffix) {
+                return Some(suffix);
+            }
+        }
+        None
+    }
+
+    /// Katz-style conditional probability with recursive back-off.
+    pub fn cond_prob(&self, context: &[QueryId], q: QueryId) -> f64 {
+        let mut factor = 1.0;
+        let mut ctx = context;
+        // Skip over-order prefixes outright (they carry no evidence).
+        if let Some(d) = self.config.max_order {
+            if ctx.len() > d {
+                ctx = &ctx[ctx.len() - d..];
+            }
+        }
+        loop {
+            if ctx.is_empty() {
+                // Unigram floor with 1/|Q| smoothing for unseen queries.
+                let count = self
+                    .unigrams
+                    .iter()
+                    .find(|(c, _)| *c == q)
+                    .map(|(_, n)| *n)
+                    .unwrap_or(0);
+                let p = if self.unigram_total == 0 {
+                    1.0 / self.n_queries as f64
+                } else if count > 0 {
+                    count as f64 / self.unigram_total as f64
+                } else {
+                    1.0 / (self.unigram_total as f64 * self.n_queries as f64)
+                };
+                return factor * p;
+            }
+            match self.states.get(ctx) {
+                Some(state) => {
+                    let p = state.discounted_prob(q, self.config.discount);
+                    if p > 0.0 {
+                        return factor * p;
+                    }
+                    factor *= state.backoff_mass(self.config.discount).max(1e-12);
+                    ctx = &ctx[1..];
+                }
+                None => {
+                    // Unobserved context: back off freely.
+                    ctx = &ctx[1..];
+                }
+            }
+        }
+    }
+}
+
+impl Recommender for BackoffNgram {
+    fn name(&self) -> &str {
+        "Backoff N-gram"
+    }
+
+    fn recommend(&self, context: &[QueryId], k: usize) -> Vec<Scored> {
+        // Coverage semantics consistent with the other ordered models: the
+        // current query must have continuation evidence somewhere.
+        let Some(suffix) = self.longest_suffix(context) else {
+            return Vec::new();
+        };
+        // Candidates: continuations observed at the matched state plus, if
+        // short, at its own suffixes (back-off can surface them).
+        let mut candidates: sqp_common::FxHashSet<QueryId> = Default::default();
+        let mut s = suffix;
+        while !s.is_empty() {
+            if let Some(state) = self.states.get(s) {
+                for &(q, _) in state.next.iter().take(k * 4) {
+                    candidates.insert(q);
+                }
+            }
+            s = &s[1..];
+        }
+        let scored: Vec<Scored> = candidates
+            .into_iter()
+            .map(|q| Scored::new(q, self.cond_prob(context, q)))
+            .collect();
+        sqp_common::topk::top_k(scored, k)
+    }
+
+    fn covers(&self, context: &[QueryId]) -> bool {
+        self.longest_suffix(context).is_some()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let mut bytes = self.unigrams.len() * std::mem::size_of::<(QueryId, u64)>();
+        for (ctx, state) in &self.states {
+            bytes += ctx.len() * std::mem::size_of::<QueryId>()
+                + state.next.len() * std::mem::size_of::<(QueryId, u64)>()
+                + std::mem::size_of::<QuerySeq>()
+                + std::mem::size_of::<State>()
+                + HASH_ENTRY_OVERHEAD;
+        }
+        bytes
+    }
+}
+
+impl SequenceScorer for BackoffNgram {
+    fn sequence_log10_prob(&self, seq: &[QueryId]) -> f64 {
+        let mut lp = 0.0;
+        for i in 1..seq.len() {
+            lp += self.cond_prob(&seq[..i], seq[i]).max(1e-300).log10();
+        }
+        lp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::toy_corpus;
+    use sqp_common::seq;
+
+    fn model() -> BackoffNgram {
+        BackoffNgram::train(&toy_corpus(), BackoffConfig::default())
+    }
+
+    #[test]
+    fn window_states_are_stored() {
+        let m = model();
+        // The toy candidate set: [0], [1], [0,1], [1,0].
+        assert_eq!(m.state_count(), 4);
+        assert!(m.states.contains_key(&seq(&[1, 0])));
+        assert!(m.states.contains_key(&seq(&[0, 1]))); // no KL pruning here
+    }
+
+    #[test]
+    fn discounted_probabilities_sum_below_one_on_observed() {
+        let m = model();
+        // State [1,0]: counts (q1:7, q0:3), δ = 0.5 ⇒ 6.5/10 + 2.5/10 = 0.9;
+        // back-off mass = 2·0.5/10 = 0.1.
+        let p1 = m.cond_prob(&seq(&[1, 0]), QueryId(1));
+        let p0 = m.cond_prob(&seq(&[1, 0]), QueryId(0));
+        assert!((p1 - 0.65).abs() < 1e-12, "p1 = {p1}");
+        assert!((p0 - 0.25).abs() < 1e-12, "p0 = {p0}");
+    }
+
+    #[test]
+    fn backoff_pays_discount_mass() {
+        let m = model();
+        // Query 2 never follows [1,0]; 2 is unseen entirely, so the chain
+        // backs off through [0] to the unigram floor:
+        // mass([1,0]) = 0.5·2/10 = 0.1; mass([0]) = 0.5·2/90 = 1/90;
+        // unigram floor = 1/(218·|Q|) with |Q| = 2.
+        let p = m.cond_prob(&seq(&[1, 0]), QueryId(2));
+        let floor = 1.0 / (218.0 * 2.0);
+        assert!((p - 0.1 * (1.0 / 90.0) * floor).abs() < 1e-15, "p = {p}");
+        assert!(p > 0.0);
+    }
+
+    #[test]
+    fn conditional_sums_to_roughly_one() {
+        // Observed mass + backoff×(suffix dist) telescopes to ~1 over the
+        // full universe; check with the two real queries (unseen queries add
+        // the tiny smoothing remainder).
+        let m = model();
+        let total: f64 = (0..2).map(|q| m.cond_prob(&seq(&[1, 0]), QueryId(q))).sum();
+        assert!(total <= 1.0 + 1e-9);
+        assert!(total > 0.85, "total = {total}");
+    }
+
+    #[test]
+    fn recommend_matches_vmm_on_exact_state() {
+        let m = model();
+        let recs = m.recommend(&seq(&[1, 0]), 2);
+        assert_eq!(recs[0].query, QueryId(1)); // same winner as the paper's PST
+    }
+
+    #[test]
+    fn backs_off_on_unseen_context() {
+        let m = model();
+        // Context [1,1] is not a state (no continuation evidence), but its
+        // suffix [1] is — the model still answers, like the VMM.
+        let recs = m.recommend(&seq(&[1, 1]), 1);
+        assert_eq!(recs[0].query, QueryId(0)); // P(q0|q1) dominates
+        assert!(m.covers(&seq(&[1, 1])));
+        assert!(!m.covers(&seq(&[9])));
+    }
+
+    #[test]
+    fn max_order_truncates_long_contexts() {
+        let m = BackoffNgram::train(
+            &toy_corpus(),
+            BackoffConfig {
+                max_order: Some(1),
+                ..BackoffConfig::default()
+            },
+        );
+        assert_eq!(m.state_count(), 2); // only [0] and [1]
+        // A length-3 context still answers through its last query.
+        assert!(!m.recommend(&seq(&[0, 1, 0]), 3).is_empty());
+    }
+
+    #[test]
+    fn coverage_equals_vmm_and_adjacency() {
+        let corpus = toy_corpus();
+        let bo = BackoffNgram::train(&corpus, BackoffConfig::default());
+        let vmm = crate::Vmm::train(&corpus, crate::VmmConfig::with_epsilon(0.05));
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                let ctx = seq(&[a, b]);
+                assert_eq!(bo.covers(&ctx), vmm.covers(&ctx), "{ctx:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_scoring_is_finite() {
+        let m = model();
+        let lp = m.sequence_log10_prob(&seq(&[0, 1, 0, 1, 1, 0]));
+        assert!(lp.is_finite());
+        assert!(lp < 0.0);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let m = BackoffNgram::train(&[], BackoffConfig::default());
+        assert_eq!(m.state_count(), 0);
+        assert!(m.recommend(&seq(&[0]), 5).is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! Suffix-window counting for VMM training.
+//!
+//! VMM statistics are counted over **windows at any session position**, not
+//! just session prefixes. This is forced by the paper's own toy example
+//! (Table II → Fig 3): P(q0|q1) = 0.8 only holds if the mid-session
+//! occurrences of `q1` in `q0q1q0` / `q0q1q1` are counted — prefix-only
+//! counting would give 0.833. Each window records its total occurrences, how
+//! often it occurs at a session start (the `‖[e,s]‖` events of Eq. 6), and
+//! the distribution of queries that follow it.
+
+use sqp_common::{Counter, FxHashMap, FxHashSet, QueryId, QuerySeq};
+
+/// Counts for one window (a candidate PST context).
+#[derive(Clone, Debug, Default)]
+pub struct WindowEntry {
+    /// Weighted occurrences of the window anywhere in a session.
+    pub total: u64,
+    /// Weighted occurrences at the very start of a session.
+    pub at_start: u64,
+    /// Weighted counts of the query immediately following the window.
+    pub next: Counter<QueryId>,
+}
+
+/// All window statistics of a training corpus up to a maximum window length.
+#[derive(Debug)]
+pub struct WindowCounts {
+    entries: FxHashMap<QuerySeq, WindowEntry>,
+    /// Prior (root) distribution: weighted occurrences of every query.
+    root_next: Counter<QueryId>,
+    /// Number of distinct queries in the corpus — the paper's |Q|.
+    pub n_queries: usize,
+    /// Total weighted sessions.
+    pub total_sessions: u64,
+    /// Total weighted query occurrences.
+    pub total_occurrences: u64,
+    /// Longest window length counted.
+    pub max_len: usize,
+}
+
+impl WindowCounts {
+    /// Count windows of length `1..=max_len` over weighted sessions.
+    /// `max_len = None` counts every possible window (unbounded VMM).
+    pub fn build(sessions: &[(QuerySeq, u64)], max_len: Option<usize>) -> Self {
+        let longest = sessions.iter().map(|(s, _)| s.len()).max().unwrap_or(0);
+        let max_len = max_len.unwrap_or(longest).min(longest.max(1));
+
+        let mut entries: FxHashMap<QuerySeq, WindowEntry> = FxHashMap::default();
+        let mut root_next = Counter::new();
+        let mut distinct: FxHashSet<QueryId> = FxHashSet::default();
+        let mut total_sessions = 0u64;
+        let mut total_occurrences = 0u64;
+
+        for (s, f) in sessions {
+            total_sessions += f;
+            for (pos, &q) in s.iter().enumerate() {
+                distinct.insert(q);
+                root_next.add(q, *f);
+                total_occurrences += f;
+                let _ = pos;
+            }
+            for start in 0..s.len() {
+                let limit = max_len.min(s.len() - start);
+                for win_len in 1..=limit {
+                    let w: QuerySeq = s[start..start + win_len].into();
+                    let e = entries.entry(w).or_default();
+                    e.total += f;
+                    if start == 0 {
+                        e.at_start += f;
+                    }
+                    if start + win_len < s.len() {
+                        e.next.add(s[start + win_len], *f);
+                    }
+                }
+            }
+        }
+
+        WindowCounts {
+            entries,
+            root_next,
+            n_queries: distinct.len(),
+            total_sessions,
+            total_occurrences,
+            max_len,
+        }
+    }
+
+    /// Counts for a window, if observed.
+    pub fn entry(&self, window: &[QueryId]) -> Option<&WindowEntry> {
+        self.entries.get(window)
+    }
+
+    /// The prior next-query distribution (root of the PST).
+    pub fn root_counts(&self) -> &Counter<QueryId> {
+        &self.root_next
+    }
+
+    /// Maximum-likelihood conditional distribution `P(·|window)` as sorted
+    /// `(query, count)` pairs; empty when the window has no continuation.
+    pub fn ml_counts(&self, window: &[QueryId]) -> Vec<(QueryId, u64)> {
+        self.entries
+            .get(window)
+            .map(|e| e.next.sorted_desc())
+            .unwrap_or_default()
+    }
+
+    /// Candidate PST contexts: observed windows with continuation evidence of
+    /// at least `min_support`, sorted by (length, sequence) so growth is
+    /// deterministic and parents precede children.
+    pub fn candidates(&self, min_support: u64) -> Vec<QuerySeq> {
+        let mut out: Vec<QuerySeq> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.next.total() >= min_support.max(1))
+            .map(|(w, _)| w.clone())
+            .collect();
+        out.sort_unstable_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+        out
+    }
+
+    /// Escape probability of Eq. (6) for an *unobserved* context
+    /// `s = [q1, s']`:
+    ///
+    /// `P̂(escape|s) = ‖[e,s']‖ / (Σ_q ‖[q,s']‖ + ‖[e,s']‖)`
+    ///
+    /// `‖[e,s']‖` counts occurrences of `s'` at a session start (nothing
+    /// precedes it) and `Σ_q ‖[q,s']‖` its occurrences preceded by some
+    /// query, so the denominator is just the total occurrences of `s'`. The
+    /// value is floored at 1e-6 so a mixture component is penalised, never
+    /// annihilated; unobserved `s'` escapes freely (probability 1).
+    pub fn escape_prob(&self, s: &[QueryId]) -> f64 {
+        debug_assert!(!s.is_empty());
+        let suffix = &s[1..];
+        if suffix.is_empty() {
+            // s' = e: sessions are the "starts", occurrences the total.
+            let den = self.total_occurrences + self.total_sessions;
+            if den == 0 {
+                return 1.0;
+            }
+            return (self.total_sessions as f64 / den as f64).max(1e-6);
+        }
+        match self.entries.get(suffix) {
+            None => 1.0,
+            Some(e) if e.total == 0 => 1.0,
+            Some(e) => (e.at_start as f64 / e.total as f64).max(1e-6),
+        }
+    }
+
+    /// Number of distinct observed windows.
+    pub fn window_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drain into the compact per-window map `(total, at_start)` kept by the
+    /// trained VMM for escape computation.
+    pub fn into_escape_table(self) -> FxHashMap<QuerySeq, (u64, u64)> {
+        self.entries
+            .into_iter()
+            .map(|(w, e)| (w, (e.total, e.at_start)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::toy_corpus;
+    use sqp_common::seq;
+
+    #[test]
+    fn toy_conditional_q1q0() {
+        // Paper: P(q0|[q1,q0]) = 3/10.
+        let c = WindowCounts::build(&toy_corpus(), None);
+        let e = c.entry(&seq(&[1, 0])).unwrap();
+        assert_eq!(e.next.get(&QueryId(0)), 3);
+        assert_eq!(e.next.get(&QueryId(1)), 7);
+        assert_eq!(e.next.total(), 10);
+    }
+
+    #[test]
+    fn toy_conditional_single_queries_use_all_positions() {
+        let c = WindowCounts::build(&toy_corpus(), None);
+        // P(·|q1): q1→q0 16 times, q1→q1 4 times (0.8 / 0.2 in the paper).
+        let e1 = c.entry(&seq(&[1])).unwrap();
+        assert_eq!(e1.next.get(&QueryId(0)), 16);
+        assert_eq!(e1.next.get(&QueryId(1)), 4);
+        // P(·|q0): q0→q0 81, q0→q1 9 (0.9 / 0.1 in the paper).
+        let e0 = c.entry(&seq(&[0])).unwrap();
+        assert_eq!(e0.next.get(&QueryId(0)), 81);
+        assert_eq!(e0.next.get(&QueryId(1)), 9);
+    }
+
+    #[test]
+    fn toy_candidate_set_matches_paper() {
+        // Paper: without filtering, S′ = {q1q0, q0q1, q0, q1}.
+        let c = WindowCounts::build(&toy_corpus(), None);
+        let cands = c.candidates(1);
+        let expect: Vec<QuerySeq> =
+            vec![seq(&[0]), seq(&[1]), seq(&[0, 1]), seq(&[1, 0])];
+        assert_eq!(cands, expect);
+    }
+
+    #[test]
+    fn root_prior_counts_every_occurrence() {
+        let c = WindowCounts::build(&toy_corpus(), None);
+        assert_eq!(c.root_counts().get(&QueryId(0)), 187);
+        assert_eq!(c.root_counts().get(&QueryId(1)), 31);
+        assert_eq!(c.total_occurrences, 218);
+        assert_eq!(c.total_sessions, 108);
+        assert_eq!(c.n_queries, 2);
+    }
+
+    #[test]
+    fn bounded_counting_truncates_windows() {
+        let c = WindowCounts::build(&[(seq(&[0, 1, 2, 3]), 1)], Some(2));
+        assert!(c.entry(&seq(&[0, 1])).is_some());
+        assert!(c.entry(&seq(&[0, 1, 2])).is_none());
+        assert_eq!(c.max_len, 2);
+    }
+
+    #[test]
+    fn at_start_only_counts_session_prefixes() {
+        let c = WindowCounts::build(&toy_corpus(), None);
+        // [0] starts sessions q0q0 (78), q0q1q0 (1), q0q1q1 (1), q0 (10) = 90;
+        // occurs 187 times total.
+        let e = c.entry(&seq(&[0])).unwrap();
+        assert_eq!(e.at_start, 90);
+        assert_eq!(e.total, 187);
+        // [1,0] starts q1q0q0 (3), q1q0q1 (7), q1q0 (5) = 15.
+        let e10 = c.entry(&seq(&[1, 0])).unwrap();
+        assert_eq!(e10.at_start, 15);
+        assert_eq!(e10.total, 16); // plus [0,1,0]'s suffix occurrence
+    }
+
+    #[test]
+    fn escape_probability_formula() {
+        let c = WindowCounts::build(&toy_corpus(), None);
+        // escape([q, 0]) for unobserved [q,0]: s' = [0]:
+        // at_start(0)/total(0) = 90/187.
+        let esc = c.escape_prob(&seq(&[9, 0]));
+        assert!((esc - 90.0 / 187.0).abs() < 1e-12);
+        // Unobserved suffix ⇒ free escape.
+        assert_eq!(c.escape_prob(&seq(&[9, 8])), 1.0);
+        // Single-query context: sessions / (occurrences + sessions).
+        let esc1 = c.escape_prob(&seq(&[9]));
+        assert!((esc1 - 108.0 / (218.0 + 108.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_support_filters_candidates() {
+        let c = WindowCounts::build(&toy_corpus(), None);
+        let cands = c.candidates(5);
+        // [0,1] has continuation support 2 (<5) and drops out.
+        assert!(!cands.contains(&seq(&[0, 1])));
+        assert!(cands.contains(&seq(&[1, 0])));
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = WindowCounts::build(&[], None);
+        assert_eq!(c.n_queries, 0);
+        assert_eq!(c.window_count(), 0);
+        assert!(c.candidates(1).is_empty());
+    }
+}

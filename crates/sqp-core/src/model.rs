@@ -1,0 +1,67 @@
+//! The recommender abstraction shared by all five methods.
+
+use sqp_common::topk::Scored;
+use sqp_common::{QueryId, QuerySeq};
+
+/// Weighted training sessions: each distinct query sequence with its
+/// aggregated frequency (the output of the `sqp-sessions` pipeline).
+pub type WeightedSessions = [(QuerySeq, u64)];
+
+/// A trained query-prediction model.
+///
+/// `recommend` returning an empty list means the context is *not covered* —
+/// the model has no evidence to predict from (the paper's coverage metric
+/// counts exactly this).
+pub trait Recommender: Send + Sync {
+    /// Short display name ("Adj.", "Co-occ.", "N-gram", "VMM (0.05)", "MVMM").
+    fn name(&self) -> &str;
+
+    /// Top-`k` next-query candidates for `context`, best first.
+    fn recommend(&self, context: &[QueryId], k: usize) -> Vec<Scored>;
+
+    /// Approximate owned heap bytes (Table VII).
+    fn memory_bytes(&self) -> usize;
+
+    /// True when the model can produce at least one recommendation for
+    /// `context`. The default delegates to `recommend`; models override it
+    /// with a cheaper check where possible.
+    fn covers(&self, context: &[QueryId]) -> bool {
+        !self.recommend(context, 1).is_empty()
+    }
+}
+
+/// Models that assign probabilities to whole query sequences (the sequence
+/// models: N-gram, VMM, MVMM). Used for the log-loss analysis of Eq. (1).
+pub trait SequenceScorer {
+    /// `log10 P(sequence)` with the first query given (footnote 3 of the
+    /// paper: `P(q1) = 1`).
+    fn sequence_log10_prob(&self, seq: &[QueryId]) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl Recommender for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn recommend(&self, context: &[QueryId], k: usize) -> Vec<Scored> {
+            if context.is_empty() {
+                return Vec::new();
+            }
+            (0..k as u32).map(|i| Scored::new(QueryId(i), 1.0)).collect()
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn default_covers_delegates_to_recommend() {
+        let m = Fixed;
+        assert!(m.covers(&[QueryId(5)]));
+        assert!(!m.covers(&[]));
+    }
+}

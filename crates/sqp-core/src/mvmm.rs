@@ -1,0 +1,463 @@
+//! The Mixture Variable Memory Markov model (MVMM) — §IV-C of the paper.
+//!
+//! Multiple VMM components (different ε and/or depth bounds D) are trained
+//! independently — in parallel, as the paper notes the K models can be — and
+//! combined at prediction time with weights
+//!
+//! `w(D,T) = N(d; 0, σ_D²)` (Eq. 4)
+//!
+//! where `d` is the edit distance between the live context and the PST state
+//! the component matched, and the σ vector is learned offline by the Newton
+//! iteration of `newton.rs` (Eq. 7–10). Escaped conditional probabilities
+//! (Eq. 5–6) penalize partially matching components, which is precisely what
+//! makes the mixture prefer components whose memory bound fits the context.
+
+use crate::model::{Recommender, SequenceScorer, WeightedSessions};
+use crate::newton::{fit_mixture_sigmas, FitConfig, FitOutcome};
+use crate::vmm::{Vmm, VmmConfig};
+use sqp_common::dist::levenshtein;
+use sqp_common::math::gaussian_pdf;
+use sqp_common::topk::Scored;
+use sqp_common::{FxHashMap, QueryId, QuerySeq};
+
+/// MVMM training parameters.
+#[derive(Clone, Debug)]
+pub struct MvmmConfig {
+    /// The VMM components to mix.
+    pub components: Vec<VmmConfig>,
+    /// Newton-fit parameters for the mixture deviations.
+    pub fit: FitConfig,
+    /// Train components on parallel threads (one per component).
+    pub parallel: bool,
+}
+
+impl Default for MvmmConfig {
+    fn default() -> Self {
+        Self::epsilon_sweep()
+    }
+}
+
+impl MvmmConfig {
+    /// The paper's §V-D headline mixture: 11 unbounded VMMs with
+    /// ε ∈ {0.00, 0.01, …, 0.10}.
+    pub fn epsilon_sweep() -> Self {
+        Self {
+            components: (0..=10)
+                .map(|i| VmmConfig::with_epsilon(i as f64 * 0.01))
+                .collect(),
+            fit: FitConfig::default(),
+            parallel: true,
+        }
+    }
+
+    /// A depth mixture (the Table VII example mixes 2-bounded VMM(0.1) with
+    /// 3-bounded VMM(0.2)).
+    pub fn depth_mixture(specs: &[(usize, f64)]) -> Self {
+        Self {
+            components: specs
+                .iter()
+                .map(|&(d, e)| VmmConfig::bounded(d, e))
+                .collect(),
+            fit: FitConfig::default(),
+            parallel: true,
+        }
+    }
+
+    /// A small mixture for tests/benches.
+    pub fn small() -> Self {
+        Self {
+            components: vec![
+                VmmConfig::with_epsilon(0.0),
+                VmmConfig::with_epsilon(0.05),
+                VmmConfig::with_epsilon(0.1),
+            ],
+            fit: FitConfig {
+                max_fit_sequences: 300,
+                ..FitConfig::default()
+            },
+            parallel: false,
+        }
+    }
+}
+
+/// A trained MVMM.
+pub struct Mvmm {
+    components: Vec<Vmm>,
+    sigmas: Vec<f64>,
+    fit: FitOutcome,
+}
+
+impl Mvmm {
+    /// Train all components and fit the mixture deviations.
+    ///
+    /// # Panics
+    /// Panics when `cfg.components` is empty.
+    pub fn train(sessions: &WeightedSessions, cfg: &MvmmConfig) -> Self {
+        assert!(!cfg.components.is_empty(), "MVMM needs at least one component");
+
+        let components: Vec<Vmm> = if cfg.parallel && cfg.components.len() > 1 {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = cfg
+                    .components
+                    .iter()
+                    .map(|c| {
+                        let cc = *c;
+                        scope.spawn(move |_| Vmm::train(sessions, cc))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("component training panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope failed")
+        } else {
+            cfg.components
+                .iter()
+                .map(|c| Vmm::train(sessions, *c))
+                .collect()
+        };
+
+        // Select the fit corpus: the most frequent multi-query sessions.
+        let mut multi: Vec<&(QuerySeq, u64)> =
+            sessions.iter().filter(|(s, _)| s.len() >= 2).collect();
+        multi.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        multi.truncate(cfg.fit.max_fit_sequences);
+        let mass: u64 = multi.iter().map(|(_, f)| f).sum();
+
+        let (mut p, mut a, mut d) = (Vec::new(), Vec::new(), Vec::new());
+        for (s, f) in &multi {
+            p.push(*f as f64 / mass.max(1) as f64);
+            let ctx = &s[..s.len() - 1];
+            let mut a_row = Vec::with_capacity(components.len());
+            let mut d_row = Vec::with_capacity(components.len());
+            for comp in &components {
+                a_row.push(
+                    10f64
+                        .powf(comp.sequence_log10_prob_escaped(s))
+                        .max(1e-300),
+                );
+                d_row.push(Self::disparity(comp, ctx));
+            }
+            a.push(a_row);
+            d.push(d_row);
+        }
+
+        let fit = fit_mixture_sigmas(&p, &a, &d, &cfg.fit);
+        Mvmm {
+            sigmas: fit.sigmas.clone(),
+            fit,
+            components,
+        }
+    }
+
+    /// Edit distance between the context and the state a component matched
+    /// (the `d(T)` of Eq. 4); the root counts as the empty state.
+    fn disparity(comp: &Vmm, ctx: &[QueryId]) -> f64 {
+        match comp.match_state(ctx) {
+            Some((idx, _)) => {
+                let state = &comp.pst().node(idx).context;
+                levenshtein(ctx, state) as f64
+            }
+            None => ctx.len() as f64,
+        }
+    }
+
+    /// The trained components.
+    pub fn components(&self) -> &[Vmm] {
+        &self.components
+    }
+
+    /// Fitted mixture deviations (one per component).
+    pub fn sigmas(&self) -> &[f64] {
+        &self.sigmas
+    }
+
+    /// Diagnostics from the Newton fit.
+    pub fn fit_outcome(&self) -> &FitOutcome {
+        &self.fit
+    }
+
+    /// Normalized weights of the matched components for a context; `None` for
+    /// unmatched components.
+    pub fn component_weights(&self, ctx: &[QueryId]) -> Vec<Option<f64>> {
+        let raw: Vec<Option<f64>> = self
+            .components
+            .iter()
+            .zip(&self.sigmas)
+            .map(|(comp, &sigma)| {
+                comp.match_state(ctx).map(|(idx, _)| {
+                    let state = &comp.pst().node(idx).context;
+                    gaussian_pdf(levenshtein(ctx, state) as f64, sigma)
+                })
+            })
+            .collect();
+        let total: f64 = raw.iter().flatten().sum();
+        if total <= 0.0 {
+            return raw.iter().map(|w| w.map(|_| 0.0)).collect();
+        }
+        raw.iter().map(|w| w.map(|v| v / total)).collect()
+    }
+
+    /// Number of distinct states across all components, counting the shared
+    /// root once — the size of the *merged* PST the paper deploys ("each node
+    /// requires just 4 extra bits" to record its source models, §V-F.2).
+    pub fn merged_state_count(&self) -> usize {
+        let mut states: sqp_common::FxHashSet<&[QueryId]> = Default::default();
+        for comp in &self.components {
+            for node in comp.pst().iter() {
+                states.insert(&node.context);
+            }
+        }
+        states.len()
+    }
+
+    /// Approximate heap bytes of the merged single-PST deployment
+    /// representation (Table VII): the union of states, each charged its
+    /// largest per-component distribution plus a 2-byte source bitmask, plus
+    /// one escape table (the largest component already subsumes the others).
+    pub fn merged_memory_bytes(&self) -> usize {
+        let mut per_state: FxHashMap<&[QueryId], usize> = FxHashMap::default();
+        for comp in &self.components {
+            for node in comp.pst().iter() {
+                let cost = std::mem::size_of::<crate::pst::PstNode>()
+                    + node.context.len() * std::mem::size_of::<QueryId>()
+                    + std::mem::size_of_val(node.dist.observed())
+                    + std::mem::size_of_val(node.dist.raw_counts())
+                    + std::mem::size_of::<u32>() // child edge slot
+                    + sqp_common::mem::HASH_ENTRY_OVERHEAD
+                    + 2; // source-model bitmask (the paper's "4 extra bits", padded)
+                let e = per_state.entry(&node.context).or_insert(0);
+                *e = (*e).max(cost);
+            }
+        }
+        let states: usize = per_state.values().sum();
+        // One escape table serves the merged tree; the largest component's
+        // table subsumes the bounded ones.
+        let escape = self
+            .components
+            .iter()
+            .map(|c| c.memory_bytes().saturating_sub(c.pst().heap_bytes()))
+            .max()
+            .unwrap_or(0);
+        states + escape
+    }
+}
+
+impl Recommender for Mvmm {
+    fn name(&self) -> &str {
+        "MVMM"
+    }
+
+    fn recommend(&self, context: &[QueryId], k: usize) -> Vec<Scored> {
+        if k == 0 || context.is_empty() {
+            return Vec::new();
+        }
+        let weights = self.component_weights(context);
+        if weights.iter().all(Option::is_none) {
+            return Vec::new();
+        }
+
+        // Candidate pool: the matched state's observed continuations from
+        // every matched component.
+        let mut candidates: sqp_common::FxHashSet<QueryId> = Default::default();
+        for (comp, w) in self.components.iter().zip(&weights) {
+            if w.is_some() {
+                if let Some((idx, _)) = comp.match_state(context) {
+                    for &(q, _) in comp.pst().node(idx).dist.observed().iter().take(k * 4) {
+                        candidates.insert(q);
+                    }
+                }
+            }
+        }
+
+        // Re-rank by the weighted escaped conditionals (§IV-C.3).
+        let scored: Vec<Scored> = candidates
+            .into_iter()
+            .map(|q| {
+                let mut score = 0.0;
+                for (comp, w) in self.components.iter().zip(&weights) {
+                    if let Some(w) = w {
+                        score += w * comp.cond_prob_escaped(context, q);
+                    }
+                }
+                Scored::new(q, score)
+            })
+            .collect();
+        sqp_common::topk::top_k(scored, k)
+    }
+
+    fn covers(&self, context: &[QueryId]) -> bool {
+        self.components.iter().any(|c| c.covers(context))
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.merged_memory_bytes()
+    }
+}
+
+impl SequenceScorer for Mvmm {
+    fn sequence_log10_prob(&self, seq: &[QueryId]) -> f64 {
+        if seq.len() < 2 {
+            return 0.0;
+        }
+        let ctx = &seq[..seq.len() - 1];
+        // Weights over ALL components (unmatched ⇒ disparity = |ctx|), per
+        // Eq. (2)/(4).
+        let raw: Vec<f64> = self
+            .components
+            .iter()
+            .zip(&self.sigmas)
+            .map(|(comp, &sigma)| gaussian_pdf(Self::disparity(comp, ctx), sigma))
+            .collect();
+        let total: f64 = raw.iter().sum();
+        if total <= 0.0 {
+            return -300.0;
+        }
+        let mix: f64 = self
+            .components
+            .iter()
+            .zip(&raw)
+            .map(|(comp, w)| (w / total) * 10f64.powf(comp.sequence_log10_prob_escaped(seq)))
+            .sum();
+        mix.max(1e-300).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::toy_corpus;
+    use sqp_common::seq;
+
+    fn toy_mvmm() -> Mvmm {
+        Mvmm::train(&toy_corpus(), &MvmmConfig::small())
+    }
+
+    #[test]
+    fn trains_all_components_and_sigmas() {
+        let m = toy_mvmm();
+        assert_eq!(m.components().len(), 3);
+        assert_eq!(m.sigmas().len(), 3);
+        for &s in m.sigmas() {
+            assert!(s > 0.0 && s.is_finite());
+        }
+    }
+
+    #[test]
+    fn recommendation_agrees_with_components_on_exact_states() {
+        let m = toy_mvmm();
+        // All components agree: after [q1,q0] recommend q1 (P = 0.7).
+        let recs = m.recommend(&seq(&[1, 0]), 2);
+        assert_eq!(recs[0].query, QueryId(1));
+        // After [q0] recommend q0 (P = 0.9).
+        assert_eq!(m.recommend(&seq(&[0]), 1)[0].query, QueryId(0));
+    }
+
+    #[test]
+    fn weights_are_normalized_over_matched_components() {
+        let m = toy_mvmm();
+        let w = m.component_weights(&seq(&[1, 0]));
+        let total: f64 = w.iter().flatten().sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+    }
+
+    #[test]
+    fn coverage_is_union_of_components() {
+        let m = toy_mvmm();
+        assert!(m.covers(&seq(&[0])));
+        assert!(m.covers(&seq(&[42, 1]))); // partial match on last query
+        assert!(!m.covers(&seq(&[42]))); // unknown last query
+        assert!(m.recommend(&seq(&[42]), 5).is_empty());
+    }
+
+    #[test]
+    fn parallel_and_serial_training_agree() {
+        let mut cfg = MvmmConfig::small();
+        cfg.parallel = false;
+        let serial = Mvmm::train(&toy_corpus(), &cfg);
+        cfg.parallel = true;
+        let parallel = Mvmm::train(&toy_corpus(), &cfg);
+        assert_eq!(serial.sigmas(), parallel.sigmas());
+        let a = serial.recommend(&seq(&[1, 0]), 5);
+        let b = parallel.recommend(&seq(&[1, 0]), 5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.query, y.query);
+            assert!((x.score - y.score).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn merged_state_count_bounds() {
+        let m = toy_mvmm();
+        let max_single = m
+            .components()
+            .iter()
+            .map(|c| c.node_count())
+            .max()
+            .unwrap();
+        let sum: usize = m.components().iter().map(|c| c.node_count()).sum();
+        let merged = m.merged_state_count();
+        assert!(merged >= max_single);
+        assert!(merged <= sum);
+    }
+
+    #[test]
+    fn merged_memory_well_below_component_sum() {
+        // Table VII: the MVMM "only requires marginally more memory compared
+        // to the standard VMM models".
+        let m = toy_mvmm();
+        let sum: usize = m.components().iter().map(|c| c.memory_bytes()).sum();
+        assert!(m.memory_bytes() < sum);
+        assert!(m.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn sequence_scoring_is_a_proper_mixture() {
+        let m = toy_mvmm();
+        let s = seq(&[1, 0, 1]);
+        let mix = m.sequence_log10_prob(&s);
+        // The mixture probability lies within the range of the component
+        // probabilities (convex combination).
+        let comp_lps: Vec<f64> = m
+            .components()
+            .iter()
+            .map(|c| c.sequence_log10_prob_escaped(&s))
+            .collect();
+        let lo = comp_lps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = comp_lps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(mix >= lo - 1e-9 && mix <= hi + 1e-9, "{lo} <= {mix} <= {hi}");
+    }
+
+    #[test]
+    fn respects_k_and_sorted_scores() {
+        let m = toy_mvmm();
+        let recs = m.recommend(&seq(&[0]), 1);
+        assert_eq!(recs.len(), 1);
+        let recs2 = m.recommend(&seq(&[1]), 2);
+        for w in recs2.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_component_list_panics() {
+        let cfg = MvmmConfig {
+            components: vec![],
+            fit: FitConfig::default(),
+            parallel: false,
+        };
+        Mvmm::train(&toy_corpus(), &cfg);
+    }
+
+    #[test]
+    fn depth_mixture_config() {
+        let cfg = MvmmConfig::depth_mixture(&[(2, 0.1), (3, 0.2)]);
+        assert_eq!(cfg.components.len(), 2);
+        assert_eq!(cfg.components[0].max_depth, Some(2));
+        let m = Mvmm::train(&toy_corpus(), &cfg);
+        assert!(m.merged_state_count() >= 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! The naive variable-length N-gram model — §IV-A of the paper.
+//!
+//! For a user who has issued `i−1` queries, the `i`-gram model is selected
+//! and the **entire** context must match a trained state. Training states are
+//! the session *prefix* contexts of §V-A.5 ("Aggregating Training Contexts"):
+//! from `[q1..q5]` with frequency 10 come the states `[q1]`, `[q1,q2]`,
+//! `[q1,q2,q3]`, `[q1..q4]`, each predicting its following query with support
+//! 10. Sticking to the maximum-length context is what gives this model its
+//! slightly higher precision and its catastrophic coverage decay (Fig 11).
+
+use crate::model::{Recommender, SequenceScorer, WeightedSessions};
+use sqp_common::mem::HASH_ENTRY_OVERHEAD;
+use sqp_common::topk::Scored;
+use sqp_common::{Counter, FxHashMap, QueryId, QuerySeq};
+
+/// Variable-length N-gram model over full prefix contexts.
+pub struct NGram {
+    /// state (full prefix context) → ranked continuations.
+    states: FxHashMap<QuerySeq, Box<[(QueryId, u64)]>>,
+    /// Largest trained context length (= N−1 of the largest N-gram).
+    max_order: usize,
+}
+
+impl NGram {
+    /// Train the family of N-gram models (one per context length) in one pass.
+    pub fn train(sessions: &WeightedSessions) -> Self {
+        let mut counts: FxHashMap<QuerySeq, Counter<QueryId>> = FxHashMap::default();
+        let mut max_order = 0;
+        for (s, f) in sessions {
+            for i in 1..s.len() {
+                let ctx: QuerySeq = s[..i].into();
+                max_order = max_order.max(i);
+                counts.entry(ctx).or_default().add(s[i], *f);
+            }
+        }
+        let states = counts
+            .into_iter()
+            .map(|(ctx, c)| (ctx, c.sorted_desc().into_boxed_slice()))
+            .collect();
+        NGram { states, max_order }
+    }
+
+    /// Ranked continuations of an exact state (empty when untrained).
+    pub fn continuations(&self, context: &[QueryId]) -> &[(QueryId, u64)] {
+        self.states.get(context).map(|b| b.as_ref()).unwrap_or(&[])
+    }
+
+    /// Whether `context` is a trained state (Table VI reason 4 checks this).
+    pub fn has_state(&self, context: &[QueryId]) -> bool {
+        self.states.contains_key(context)
+    }
+
+    /// Number of trained states across all orders.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Largest trained context length.
+    pub fn max_order(&self) -> usize {
+        self.max_order
+    }
+}
+
+impl Recommender for NGram {
+    fn name(&self) -> &str {
+        "N-gram"
+    }
+
+    fn recommend(&self, context: &[QueryId], k: usize) -> Vec<Scored> {
+        if context.is_empty() {
+            return Vec::new();
+        }
+        self.continuations(context)
+            .iter()
+            .take(k)
+            .map(|&(q, c)| Scored::new(q, c as f64))
+            .collect()
+    }
+
+    fn covers(&self, context: &[QueryId]) -> bool {
+        !context.is_empty() && self.has_state(context)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for (ctx, list) in &self.states {
+            bytes += ctx.len() * std::mem::size_of::<QueryId>();
+            bytes += list.len() * std::mem::size_of::<(QueryId, u64)>();
+            bytes += std::mem::size_of::<QuerySeq>()
+                + std::mem::size_of::<Box<[(QueryId, u64)]>>()
+                + HASH_ENTRY_OVERHEAD;
+        }
+        bytes
+    }
+}
+
+impl SequenceScorer for NGram {
+    fn sequence_log10_prob(&self, seq: &[QueryId]) -> f64 {
+        let mut lp = 0.0;
+        for i in 1..seq.len() {
+            let list = self.continuations(&seq[..i]);
+            let total: u64 = list.iter().map(|(_, c)| c).sum();
+            let hit = list.iter().find(|(q, _)| *q == seq[i]).map(|(_, c)| *c);
+            match (hit, total) {
+                (Some(c), t) if t > 0 => lp += (c as f64 / t as f64).log10(),
+                // Untrained state or unseen continuation: the naive N-gram
+                // simply has no estimate; charge a floor so log-loss stays
+                // finite and comparable.
+                _ => lp += (1e-9f64).log10(),
+            }
+        }
+        lp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqp_common::seq;
+
+    fn model() -> NGram {
+        NGram::train(&[
+            (seq(&[0, 1, 2]), 6), // states [0]→1, [0,1]→2
+            (seq(&[0, 2]), 2),    // state [0]→2
+            (seq(&[1, 2, 3, 4]), 1),
+        ])
+    }
+
+    #[test]
+    fn prefix_states_only() {
+        let m = model();
+        // [0] trained with both continuations.
+        assert_eq!(
+            m.continuations(&seq(&[0])),
+            &[(QueryId(1), 6), (QueryId(2), 2)]
+        );
+        // [1] appears mid-session in [0,1,2] but IS a prefix of [1,2,3,4].
+        assert_eq!(m.continuations(&seq(&[1])), &[(QueryId(2), 1)]);
+        // [1,2] is a prefix state of the long session.
+        assert_eq!(m.continuations(&seq(&[1, 2])), &[(QueryId(3), 1)]);
+        // But [2] alone is never a prefix.
+        assert!(!m.has_state(&seq(&[2])));
+    }
+
+    #[test]
+    fn full_context_must_match() {
+        let m = model();
+        // The user context [5,0] is not a trained state even though [0] is:
+        // the naive model "sticks to the maximum length context".
+        assert!(m.recommend(&seq(&[5, 0]), 5).is_empty());
+        assert!(!m.covers(&seq(&[5, 0])));
+        // Exact state matches work at any order.
+        assert_eq!(m.recommend(&seq(&[0, 1]), 5)[0].query, QueryId(2));
+        assert_eq!(m.recommend(&seq(&[1, 2, 3]), 5)[0].query, QueryId(4));
+    }
+
+    #[test]
+    fn max_order_reported() {
+        assert_eq!(model().max_order(), 3);
+        assert_eq!(model().state_count(), 5); // [0],[1],[0,1],[1,2],[1,2,3]
+    }
+
+    #[test]
+    fn empty_context_uncovered() {
+        let m = model();
+        assert!(m.recommend(&[], 5).is_empty());
+        assert!(!m.covers(&[]));
+    }
+
+    #[test]
+    fn sequence_log_prob() {
+        let m = model();
+        // P(1|[0]) = 6/8, P(2|[0,1]) = 1.
+        let lp = m.sequence_log10_prob(&seq(&[0, 1, 2]));
+        assert!((lp - (0.75f64).log10()).abs() < 1e-12);
+        // Unknown transitions hit the floor.
+        let lp2 = m.sequence_log10_prob(&seq(&[2, 0]));
+        assert!(lp2 <= (1e-9f64).log10() + 1e-9);
+    }
+
+    #[test]
+    fn respects_k() {
+        let m = model();
+        assert_eq!(m.recommend(&seq(&[0]), 1).len(), 1);
+        assert_eq!(m.recommend(&seq(&[0]), 10).len(), 2);
+    }
+}

@@ -1,0 +1,285 @@
+//! Binary persistence for trained VMMs.
+//!
+//! §V-F.2 of the paper: *"The PST learnt by a trained VMM model must be
+//! loaded into RAM for real-time online query prediction."* A deployment
+//! therefore needs to serialize a trained model once (nightly build) and
+//! load it in each serving process. The format is a small, versioned,
+//! length-prefixed binary layout; reconstruction is exact because node
+//! distributions are rebuilt from the stored raw counts through the same
+//! deterministic smoothing used at training time.
+
+use crate::pst::{NodeDist, Pst};
+use crate::vmm::{Vmm, VmmConfig};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sqp_common::{FxHashMap, QueryId, QuerySeq};
+
+const MAGIC: &[u8; 4] = b"SQPV";
+const VERSION: u32 = 1;
+
+fn put_seq(buf: &mut BytesMut, seq: &[QueryId]) {
+    buf.put_u32_le(seq.len() as u32);
+    for q in seq {
+        buf.put_u32_le(q.0);
+    }
+}
+
+fn get_seq(data: &mut Bytes) -> Result<QuerySeq, String> {
+    if data.remaining() < 4 {
+        return Err("truncated sequence length".into());
+    }
+    let len = data.get_u32_le() as usize;
+    if data.remaining() < len * 4 {
+        return Err("truncated sequence body".into());
+    }
+    Ok((0..len).map(|_| QueryId(data.get_u32_le())).collect())
+}
+
+impl Vmm {
+    /// Serialize the trained model.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.node_count() * 48);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+
+        // Config + corpus constants.
+        buf.put_f64_le(self.config.epsilon);
+        buf.put_u64_le(self.config.max_depth.map(|d| d as u64).unwrap_or(u64::MAX));
+        buf.put_u64_le(self.config.min_support);
+        buf.put_u64_le(self.total_sessions);
+        buf.put_u64_le(self.total_occurrences);
+        buf.put_u64_le(self.n_queries as u64);
+
+        // Nodes in (length, context) order so reinsertion finds parents.
+        let mut nodes: Vec<_> = self.pst.iter().collect();
+        nodes.sort_by_key(|n| (n.context.len(), n.context.clone()));
+        buf.put_u64_le(nodes.len() as u64);
+        for node in nodes {
+            put_seq(&mut buf, &node.context);
+            let raw = node.dist.raw_counts();
+            buf.put_u32_le(raw.len() as u32);
+            for &(q, c) in raw {
+                buf.put_u32_le(q.0);
+                buf.put_u64_le(c);
+            }
+        }
+
+        // Escape table, sorted for deterministic output.
+        let mut escapes: Vec<(&QuerySeq, &(u64, u64))> = self.escape_table.iter().collect();
+        escapes.sort_by_key(|(w, _)| (w.len(), (*w).clone()));
+        buf.put_u64_le(escapes.len() as u64);
+        for (w, &(total, at_start)) in escapes {
+            put_seq(&mut buf, w);
+            buf.put_u64_le(total);
+            buf.put_u64_le(at_start);
+        }
+        buf.freeze()
+    }
+
+    /// Reconstruct a model serialized with [`Vmm::to_bytes`].
+    pub fn from_bytes(mut data: Bytes) -> Result<Vmm, String> {
+        if data.remaining() < 8 {
+            return Err("truncated header".into());
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err("bad magic — not a serialized VMM".into());
+        }
+        let version = data.get_u32_le();
+        if version != VERSION {
+            return Err(format!("unsupported version {version}"));
+        }
+        if data.remaining() < 8 * 6 {
+            return Err("truncated config".into());
+        }
+        let epsilon = data.get_f64_le();
+        let max_depth_raw = data.get_u64_le();
+        let min_support = data.get_u64_le();
+        let total_sessions = data.get_u64_le();
+        let total_occurrences = data.get_u64_le();
+        let n_queries = data.get_u64_le() as usize;
+        let config = VmmConfig {
+            epsilon,
+            max_depth: (max_depth_raw != u64::MAX).then_some(max_depth_raw as usize),
+            min_support,
+        };
+
+        if data.remaining() < 8 {
+            return Err("truncated node count".into());
+        }
+        let n_nodes = data.get_u64_le() as usize;
+        if n_nodes == 0 {
+            return Err("serialized VMM has no root".into());
+        }
+        let mut pst: Option<Pst> = None;
+        for i in 0..n_nodes {
+            let context = get_seq(&mut data)?;
+            if data.remaining() < 4 {
+                return Err("truncated node distribution".into());
+            }
+            let n_raw = data.get_u32_le() as usize;
+            if data.remaining() < n_raw * 12 {
+                return Err("truncated node counts".into());
+            }
+            let raw: Vec<(QueryId, u64)> = (0..n_raw)
+                .map(|_| {
+                    let q = QueryId(data.get_u32_le());
+                    let c = data.get_u64_le();
+                    (q, c)
+                })
+                .collect();
+            let dist = NodeDist::from_counts(raw, n_queries);
+            if i == 0 {
+                if !context.is_empty() {
+                    return Err("first node must be the root".into());
+                }
+                pst = Some(Pst::new(dist));
+            } else {
+                let tree = pst.as_mut().ok_or("root missing")?;
+                if context.is_empty() {
+                    return Err("duplicate root".into());
+                }
+                tree.insert(context, dist);
+            }
+        }
+        let pst = pst.ok_or("root missing")?;
+
+        if data.remaining() < 8 {
+            return Err("truncated escape-table count".into());
+        }
+        let n_escape = data.get_u64_le() as usize;
+        let mut escape_table: FxHashMap<QuerySeq, (u64, u64)> = FxHashMap::default();
+        for _ in 0..n_escape {
+            let w = get_seq(&mut data)?;
+            if data.remaining() < 16 {
+                return Err("truncated escape entry".into());
+            }
+            let total = data.get_u64_le();
+            let at_start = data.get_u64_le();
+            escape_table.insert(w, (total, at_start));
+        }
+
+        Ok(Vmm {
+            pst,
+            escape_table,
+            total_sessions,
+            total_occurrences,
+            n_queries,
+            name: config.display_name(),
+            config,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Recommender, SequenceScorer};
+    use crate::toy::{toy_corpus, toy_test_sequence, TOY_EPSILON};
+    use sqp_common::seq;
+
+    fn trained() -> Vmm {
+        Vmm::train(&toy_corpus(), VmmConfig::with_epsilon(TOY_EPSILON))
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_observable() {
+        let original = trained();
+        let blob = original.to_bytes();
+        let restored = Vmm::from_bytes(blob).expect("roundtrip");
+
+        assert_eq!(restored.node_count(), original.node_count());
+        assert_eq!(restored.name(), original.name());
+        assert_eq!(restored.n_queries(), original.n_queries());
+        assert_eq!(restored.config(), original.config());
+
+        // Identical probabilities, escapes, recommendations, scores.
+        for ctx in [&[][..], &seq(&[0]), &seq(&[1]), &seq(&[1, 0]), &seq(&[1, 1])] {
+            for q in [QueryId(0), QueryId(1), QueryId(7)] {
+                assert_eq!(original.cond_prob(ctx, q), restored.cond_prob(ctx, q));
+                assert_eq!(
+                    original.cond_prob_escaped(ctx, q),
+                    restored.cond_prob_escaped(ctx, q)
+                );
+            }
+            let a = original.recommend(ctx, 5);
+            let b = restored.recommend(ctx, 5);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.query, y.query);
+                assert_eq!(x.score, y.score);
+            }
+        }
+        assert_eq!(
+            original.sequence_log10_prob(&toy_test_sequence()),
+            restored.sequence_log10_prob(&toy_test_sequence())
+        );
+        assert_eq!(original.memory_bytes(), restored.memory_bytes());
+    }
+
+    #[test]
+    fn roundtrip_on_simulated_corpus() {
+        let logs = sqp_logsim::generate(&sqp_logsim::SimConfig::small(3_000, 500, 21));
+        let p = sqp_sessions::process(&logs, &sqp_sessions::PipelineConfig::default());
+        let original = Vmm::train(
+            &p.train.aggregated.sessions,
+            VmmConfig::bounded(3, 0.02),
+        );
+        let restored = Vmm::from_bytes(original.to_bytes()).unwrap();
+        assert_eq!(restored.node_count(), original.node_count());
+        for e in p.ground_truth.entries.iter().take(200) {
+            let a = original.recommend(&e.context, 5);
+            let b = restored.recommend(&e.context, 5);
+            assert_eq!(
+                a.iter().map(|r| r.query).collect::<Vec<_>>(),
+                b.iter().map(|r| r.query).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let m = trained();
+        assert_eq!(m.to_bytes(), m.to_bytes());
+        // Two identically-trained models serialize identically.
+        assert_eq!(trained().to_bytes(), m.to_bytes());
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(Vmm::from_bytes(Bytes::from_static(b"")).is_err());
+        assert!(Vmm::from_bytes(Bytes::from_static(b"NOPE0000")).is_err());
+        let blob = trained().to_bytes();
+        for cut in [3, 8, 20, blob.len() / 2, blob.len() - 1] {
+            assert!(
+                Vmm::from_bytes(blob.slice(0..cut)).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut raw = trained().to_bytes().to_vec();
+        raw[4] = 99; // bump the version field
+        assert!(Vmm::from_bytes(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn unbounded_and_bounded_configs_roundtrip() {
+        for cfg in [
+            VmmConfig::with_epsilon(0.0),
+            VmmConfig::bounded(2, 0.1),
+            VmmConfig {
+                epsilon: 0.3,
+                max_depth: Some(1),
+                min_support: 4,
+            },
+        ] {
+            let m = Vmm::train(&toy_corpus(), cfg);
+            let r = Vmm::from_bytes(m.to_bytes()).unwrap();
+            assert_eq!(r.config(), &cfg);
+            assert_eq!(r.node_count(), m.node_count());
+        }
+    }
+}

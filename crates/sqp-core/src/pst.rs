@@ -1,0 +1,344 @@
+//! The Prediction Suffix Tree (PST) data structure.
+//!
+//! Nodes are labelled with contexts (query sequences read chronologically);
+//! the parent of state `[q1,…,ql]` is its *suffix* `[q2,…,ql]` — walking down
+//! from the root prepends ever-older queries. Longest-suffix lookup is O(D),
+//! the paper's prediction-time bound.
+
+use sqp_common::topk::Scored;
+use sqp_common::{FxHashMap, QueryId, QuerySeq};
+
+/// A smoothed next-query distribution attached to a PST node.
+///
+/// Smoothing follows §IV-B.1(c): each unobserved query receives the constant
+/// 1/|Q|, then the whole distribution is renormalized. With m observed
+/// queries out of |Q| the normalizer is `Z = 1 + (|Q|−m)/|Q|`; when every
+/// query is observed (the toy example) Z = 1 and the ML estimates survive
+/// untouched.
+#[derive(Clone, Debug)]
+pub struct NodeDist {
+    /// Observed continuations with smoothed probabilities, best first.
+    entries: Box<[(QueryId, f64)]>,
+    /// Raw ML counts, kept for diagnostics and KL computations.
+    raw: Box<[(QueryId, u64)]>,
+    /// Total observed continuation mass.
+    total: u64,
+    /// Smoothed probability of each individual unobserved query.
+    unobserved_prob: f64,
+}
+
+impl NodeDist {
+    /// Build from ML counts sorted descending, with universe size `n_queries`.
+    pub fn from_counts(counts: Vec<(QueryId, u64)>, n_queries: usize) -> Self {
+        let total: u64 = counts.iter().map(|(_, c)| c).sum();
+        let m = counts.len();
+        let nq = n_queries.max(m).max(1);
+        let z = 1.0 + (nq - m) as f64 / nq as f64;
+        let unobserved_prob = if total == 0 {
+            // No evidence at all: uniform.
+            1.0 / nq as f64
+        } else {
+            (1.0 / nq as f64) / z
+        };
+        let entries: Box<[(QueryId, f64)]> = counts
+            .iter()
+            .map(|&(q, c)| (q, (c as f64 / total.max(1) as f64) / z))
+            .collect();
+        NodeDist {
+            entries,
+            raw: counts.into_boxed_slice(),
+            total,
+            unobserved_prob,
+        }
+    }
+
+    /// Smoothed `P(q | this context)`.
+    pub fn prob(&self, q: QueryId) -> f64 {
+        self.entries
+            .iter()
+            .find(|(e, _)| *e == q)
+            .map(|(_, p)| *p)
+            .unwrap_or(self.unobserved_prob)
+    }
+
+    /// Raw ML probability (0 for unobserved), used by the KL growth test.
+    pub fn ml_prob(&self, q: QueryId) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.raw
+            .iter()
+            .find(|(e, _)| *e == q)
+            .map(|(_, c)| *c as f64 / self.total as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Top-k observed continuations by smoothed probability.
+    pub fn top_k(&self, k: usize) -> Vec<Scored> {
+        self.entries
+            .iter()
+            .take(k)
+            .map(|&(q, p)| Scored::new(q, p))
+            .collect()
+    }
+
+    /// Observed continuations `(query, smoothed prob)`, best first.
+    pub fn observed(&self) -> &[(QueryId, f64)] {
+        &self.entries
+    }
+
+    /// Raw ML counts, best first.
+    pub fn raw_counts(&self) -> &[(QueryId, u64)] {
+        &self.raw
+    }
+
+    /// Total observed continuation mass.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// True when the node has no continuation evidence.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<(QueryId, f64)>()
+            + self.raw.len() * std::mem::size_of::<(QueryId, u64)>()
+    }
+}
+
+/// One PST node.
+#[derive(Clone, Debug)]
+pub struct PstNode {
+    /// The context labelling this state (empty at the root).
+    pub context: QuerySeq,
+    /// Next-query distribution.
+    pub dist: NodeDist,
+    /// Child edges: the next-older query → node index.
+    children: FxHashMap<QueryId, u32>,
+    /// Parent node index (None at the root).
+    pub parent: Option<u32>,
+}
+
+/// The prediction suffix tree.
+#[derive(Clone, Debug)]
+pub struct Pst {
+    nodes: Vec<PstNode>,
+}
+
+impl Pst {
+    /// Create a tree holding only the root (empty context) with the given
+    /// prior distribution.
+    pub fn new(root_dist: NodeDist) -> Self {
+        Pst {
+            nodes: vec![PstNode {
+                context: Box::from([]),
+                dist: root_dist,
+                children: FxHashMap::default(),
+                parent: None,
+            }],
+        }
+    }
+
+    /// Number of nodes, including the root (the paper's PST size metric).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &PstNode {
+        &self.nodes[0]
+    }
+
+    /// Node by index.
+    pub fn node(&self, idx: u32) -> &PstNode {
+        &self.nodes[idx as usize]
+    }
+
+    /// Iterate all nodes (root first, then in insertion order).
+    pub fn iter(&self) -> impl Iterator<Item = &PstNode> {
+        self.nodes.iter()
+    }
+
+    /// Insert a state. The parent (its one-shorter suffix) must already be
+    /// present — the VMM trainer inserts states in ascending length order,
+    /// which guarantees this because the state set is suffix-closed.
+    ///
+    /// # Panics
+    /// Panics if the parent state is missing.
+    pub fn insert(&mut self, context: QuerySeq, dist: NodeDist) -> u32 {
+        debug_assert!(!context.is_empty(), "root is created by new()");
+        let (parent_idx, matched) = self.longest_suffix(&context);
+        assert_eq!(
+            matched,
+            context.len() - 1,
+            "parent of {context:?} missing from PST"
+        );
+        let edge = context[0];
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(PstNode {
+            context,
+            dist,
+            children: FxHashMap::default(),
+            parent: Some(parent_idx),
+        });
+        let prev = self.nodes[parent_idx as usize].children.insert(edge, idx);
+        debug_assert!(prev.is_none(), "duplicate state insertion");
+        idx
+    }
+
+    /// Longest suffix of `context` that is a state: returns `(node index,
+    /// matched length)`; `(0, 0)` means only the root matches.
+    pub fn longest_suffix(&self, context: &[QueryId]) -> (u32, usize) {
+        let mut idx = 0u32;
+        let mut matched = 0usize;
+        for i in (0..context.len()).rev() {
+            match self.nodes[idx as usize].children.get(&context[i]) {
+                Some(&child) => {
+                    idx = child;
+                    matched += 1;
+                }
+                None => break,
+            }
+        }
+        (idx, matched)
+    }
+
+    /// True when `context` is exactly a state of the tree.
+    pub fn contains(&self, context: &[QueryId]) -> bool {
+        let (_, matched) = self.longest_suffix(context);
+        matched == context.len()
+    }
+
+    /// Node index of an exact state, if present.
+    pub fn find(&self, context: &[QueryId]) -> Option<u32> {
+        let (idx, matched) = self.longest_suffix(context);
+        (matched == context.len()).then_some(idx)
+    }
+
+    /// Approximate owned heap bytes.
+    pub fn heap_bytes(&self) -> usize {
+        let mut bytes = self.nodes.capacity() * std::mem::size_of::<PstNode>();
+        for n in &self.nodes {
+            bytes += n.context.len() * std::mem::size_of::<QueryId>();
+            bytes += n.dist.heap_bytes();
+            bytes += n.children.len()
+                * (std::mem::size_of::<(QueryId, u32)>() + sqp_common::mem::HASH_ENTRY_OVERHEAD);
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqp_common::seq;
+
+    fn dist(pairs: &[(u32, u64)], nq: usize) -> NodeDist {
+        NodeDist::from_counts(
+            pairs.iter().map(|&(q, c)| (QueryId(q), c)).collect(),
+            nq,
+        )
+    }
+
+    fn toy_tree() -> Pst {
+        // Figure 3: root, q0, q1, q1q0.
+        let mut pst = Pst::new(dist(&[(0, 187), (1, 31)], 2));
+        pst.insert(seq(&[0]), dist(&[(0, 81), (1, 9)], 2));
+        pst.insert(seq(&[1]), dist(&[(0, 16), (1, 4)], 2));
+        pst.insert(seq(&[1, 0]), dist(&[(1, 7), (0, 3)], 2));
+        pst
+    }
+
+    #[test]
+    fn node_count_includes_root() {
+        assert_eq!(toy_tree().len(), 4);
+        assert!(!toy_tree().is_empty());
+    }
+
+    #[test]
+    fn longest_suffix_walks_from_newest_to_oldest() {
+        let pst = toy_tree();
+        // [q0,q1,q0]: suffix [q1,q0] matches (length 2).
+        let (idx, matched) = pst.longest_suffix(&seq(&[0, 1, 0]));
+        assert_eq!(matched, 2);
+        assert_eq!(pst.node(idx).context.as_ref(), seq(&[1, 0]).as_ref());
+        // [q1,q1]: only [q1] matches.
+        let (idx, matched) = pst.longest_suffix(&seq(&[1, 1]));
+        assert_eq!(matched, 1);
+        assert_eq!(pst.node(idx).context.as_ref(), seq(&[1]).as_ref());
+        // Unknown query: root only.
+        let (idx, matched) = pst.longest_suffix(&seq(&[9]));
+        assert_eq!((idx, matched), (0, 0));
+    }
+
+    #[test]
+    fn contains_and_find() {
+        let pst = toy_tree();
+        assert!(pst.contains(&seq(&[1, 0])));
+        assert!(!pst.contains(&seq(&[0, 1])));
+        assert!(pst.contains(&[]));
+        assert!(pst.find(&seq(&[0])).is_some());
+        assert!(pst.find(&seq(&[0, 0])).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "parent of")]
+    fn insert_requires_parent() {
+        let mut pst = Pst::new(dist(&[(0, 1)], 2));
+        // [0,1] requires [1] first.
+        pst.insert(seq(&[0, 1]), dist(&[(0, 1)], 2));
+    }
+
+    #[test]
+    fn smoothing_full_support_is_ml() {
+        // Both queries observed, |Q| = 2 ⇒ Z = 1, ML probabilities.
+        let d = dist(&[(0, 81), (1, 9)], 2);
+        assert!((d.prob(QueryId(0)) - 0.9).abs() < 1e-12);
+        assert!((d.prob(QueryId(1)) - 0.1).abs() < 1e-12);
+        assert!((d.ml_prob(QueryId(0)) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_partial_support_renormalizes() {
+        // One of four queries observed: Z = 1 + 3/4 = 1.75.
+        let d = dist(&[(0, 10)], 4);
+        let p_obs = d.prob(QueryId(0));
+        let p_un = d.prob(QueryId(3));
+        assert!((p_obs - 1.0 / 1.75).abs() < 1e-12);
+        assert!((p_un - 0.25 / 1.75).abs() < 1e-12);
+        // Total mass: observed + 3 unobserved = 1.
+        assert!((p_obs + 3.0 * p_un - 1.0).abs() < 1e-12);
+        assert_eq!(d.ml_prob(QueryId(3)), 0.0);
+    }
+
+    #[test]
+    fn top_k_orders_by_probability() {
+        let d = dist(&[(5, 70), (2, 20), (9, 10)], 10);
+        let top = d.top_k(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].query, QueryId(5));
+        assert_eq!(top[1].query, QueryId(2));
+    }
+
+    #[test]
+    fn empty_dist() {
+        let d = NodeDist::from_counts(vec![], 5);
+        assert!(d.is_empty());
+        assert_eq!(d.total(), 0);
+        assert!((d.prob(QueryId(0)) - 0.2).abs() < 1e-12); // uniform
+        assert!(d.top_k(3).is_empty());
+    }
+
+    #[test]
+    fn heap_bytes_grow_with_nodes() {
+        let small = Pst::new(dist(&[(0, 1)], 2));
+        assert!(toy_tree().heap_bytes() > small.heap_bytes());
+    }
+}

@@ -1,0 +1,57 @@
+//! The paper's Table II toy corpus, used by unit tests, integration tests,
+//! and the `fig03_toy_pst` experiment binary.
+//!
+//! | s      | ‖s‖ | s      | ‖s‖ | s    | ‖s‖ | s   | ‖s‖ |
+//! |--------|-----|--------|-----|------|-----|-----|-----|
+//! | q1q0q0 | 3   | q1q0q1 | 7   | q0q0 | 78  | q1q0| 5   |
+//! | q0q1q0 | 1   | q0q1q1 | 1   | q1q1 | 3   | q0  | 10  |
+//!
+//! With ε = 0.1 this corpus produces the PST of Figure 3: states
+//! {e, q0, q1, q1q0} with P(·|q0) = (0.9, 0.1), P(·|q1) = (0.8, 0.2),
+//! P(·|q1q0) = (0.3, 0.7), and the growth decisions D_KL(q0‖q1q0) = 0.3449
+//! (added) and D_KL(q1‖q0q1) = 0.0837 (rejected).
+
+use sqp_common::{seq, QuerySeq};
+
+/// Table II as weighted sessions, with q0 ↦ id 0 and q1 ↦ id 1.
+pub fn toy_corpus() -> Vec<(QuerySeq, u64)> {
+    vec![
+        (seq(&[1, 0, 0]), 3),
+        (seq(&[1, 0, 1]), 7),
+        (seq(&[0, 0]), 78),
+        (seq(&[1, 0]), 5),
+        (seq(&[0, 1, 0]), 1),
+        (seq(&[0, 1, 1]), 1),
+        (seq(&[1, 1]), 3),
+        (seq(&[0]), 10),
+    ]
+}
+
+/// The ε used for Figure 3.
+pub const TOY_EPSILON: f64 = 0.1;
+
+/// The test sequence whose probability the paper walks through:
+/// `[q0,q1,q0,q1,q1,q0]` with probability 1 × 0.1 × 0.8 × 0.7 × 0.2 × 0.8.
+pub fn toy_test_sequence() -> QuerySeq {
+    seq(&[0, 1, 0, 1, 1, 0])
+}
+
+/// The paper's hand-computed probability of [`toy_test_sequence`].
+pub const TOY_TEST_SEQUENCE_PROB: f64 = 0.1 * 0.8 * 0.7 * 0.2 * 0.8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_mass() {
+        let total: u64 = toy_corpus().iter().map(|(_, f)| f).sum();
+        assert_eq!(total, 108);
+    }
+
+    #[test]
+    fn constants() {
+        assert!((TOY_TEST_SEQUENCE_PROB - 0.00896).abs() < 1e-12);
+        assert_eq!(toy_test_sequence().len(), 6);
+    }
+}

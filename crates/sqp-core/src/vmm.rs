@@ -1,0 +1,576 @@
+//! The Variable Memory Markov model learned via a Prediction Suffix Tree —
+//! §IV-B of the paper.
+//!
+//! Training (three stages, §IV-B.1):
+//! * **(a)** extract candidate suffix contexts `S′` from window counts
+//!   (length ≤ D, continuation support ≥ the filter threshold);
+//! * **(b)** grow the PST: every length-1 candidate is added; a longer
+//!   candidate `s` is added — together with all its suffixes, keeping the
+//!   state set suffix-closed — iff `D_KL(P(·|parent(s)) ‖ P(·|s)) > ε`
+//!   in base 10, where `parent(s) = s[1..]`. Both the divergence direction
+//!   and the log base are pinned by the paper's published numbers
+//!   (0.3449 / 0.0837 for the Table II corpus);
+//! * **(c)** smooth every node distribution with the constant 1/|Q| for
+//!   unobserved queries and renormalize.
+//!
+//! Prediction walks the longest matching suffix in O(D). The context-escape
+//! mechanism of Eq. (5)–(6) is exposed for the MVMM mixture (for a single
+//! VMM the paper notes escaping is "pointless" — renormalization cancels it).
+
+use crate::counts::WindowCounts;
+use crate::model::{Recommender, SequenceScorer, WeightedSessions};
+use crate::pst::{NodeDist, Pst};
+use sqp_common::math::kl_divergence_base10;
+use sqp_common::topk::Scored;
+use sqp_common::{FxHashMap, FxHashSet, QueryId, QuerySeq};
+
+/// VMM training parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VmmConfig {
+    /// PST growth threshold ε; 0 admits every candidate, +∞ degenerates to
+    /// the Adjacency-like 2-gram (Fig 4 of the paper).
+    pub epsilon: f64,
+    /// Context-length bound D; `None` = unbounded ("infinite order").
+    pub max_depth: Option<usize>,
+    /// Minimum continuation support for a candidate context.
+    pub min_support: u64,
+}
+
+impl Default for VmmConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.05,
+            max_depth: None,
+            min_support: 1,
+        }
+    }
+}
+
+impl VmmConfig {
+    /// Convenience: unbounded VMM with the given ε.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        Self {
+            epsilon,
+            ..Self::default()
+        }
+    }
+
+    /// Convenience: D-bounded VMM with the given ε.
+    pub fn bounded(max_depth: usize, epsilon: f64) -> Self {
+        Self {
+            epsilon,
+            max_depth: Some(max_depth),
+            min_support: 1,
+        }
+    }
+
+    /// Display name in the paper's style: "VMM (0.05)", "2-bounded VMM (0.1)".
+    pub fn display_name(&self) -> String {
+        match self.max_depth {
+            Some(d) => format!("{d}-bounded VMM ({})", self.epsilon),
+            None => format!("VMM ({})", self.epsilon),
+        }
+    }
+}
+
+/// A trained VMM.
+pub struct Vmm {
+    pub(crate) pst: Pst,
+    /// window → (total occurrences, occurrences at session start); drives the
+    /// escape probabilities of Eq. (6).
+    pub(crate) escape_table: FxHashMap<QuerySeq, (u64, u64)>,
+    pub(crate) total_sessions: u64,
+    pub(crate) total_occurrences: u64,
+    pub(crate) n_queries: usize,
+    pub(crate) config: VmmConfig,
+    pub(crate) name: String,
+}
+
+impl Vmm {
+    /// Train on weighted sessions.
+    pub fn train(sessions: &WeightedSessions, config: VmmConfig) -> Self {
+        let counts = WindowCounts::build(sessions, config.max_depth);
+        let n_queries = counts.n_queries.max(1);
+
+        // Stage (a): candidates, shortest first (parents precede children).
+        let candidates = counts.candidates(config.min_support);
+
+        // Stage (b): decide the suffix-closed state set.
+        let mut states: FxHashSet<QuerySeq> = FxHashSet::default();
+        for cand in &candidates {
+            if cand.len() == 1 {
+                states.insert(cand.clone());
+                continue;
+            }
+            if states.contains(cand) {
+                continue; // already pulled in as a suffix of a deeper state
+            }
+            let parent = &cand[1..];
+            let parent_counts = counts.ml_counts(parent);
+            let child_counts = counts.ml_counts(cand);
+            let parent_total: u64 = parent_counts.iter().map(|(_, c)| c).sum();
+            let child_total: u64 = child_counts.iter().map(|(_, c)| c).sum();
+            if parent_total == 0 || child_total == 0 {
+                continue;
+            }
+            // Aligned probability vectors over the parent's support (the
+            // child's support is a subset of the parent's).
+            let child_map: FxHashMap<QueryId, u64> = child_counts.iter().copied().collect();
+            let p: Vec<f64> = parent_counts
+                .iter()
+                .map(|(_, c)| *c as f64 / parent_total as f64)
+                .collect();
+            let q: Vec<f64> = parent_counts
+                .iter()
+                .map(|(qid, _)| {
+                    child_map.get(qid).copied().unwrap_or(0) as f64 / child_total as f64
+                })
+                .collect();
+            // Floor for parent-supported queries the child never observed:
+            // one pseudo-count relative to the child's evidence. A global
+            // 1/|Q| floor would blow the divergence up for every
+            // low-evidence candidate (log10 |Q| per missing query), making ε
+            // inoperative; the paper's toy corpus has full support at every
+            // node, so this choice leaves its pinned numbers untouched.
+            let q_floor = 1.0 / (child_total as f64 + 1.0);
+            let d = kl_divergence_base10(&p, &q, q_floor);
+            if d > config.epsilon {
+                // Add the candidate and its whole suffix chain.
+                let mut suffix: &[QueryId] = cand;
+                while !suffix.is_empty() {
+                    states.insert(suffix.into());
+                    suffix = &suffix[1..];
+                }
+            }
+        }
+
+        // Stage (c): materialize the tree with smoothed distributions.
+        let mut ordered: Vec<QuerySeq> = states.into_iter().collect();
+        ordered.sort_unstable_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+        let mut pst = Pst::new(NodeDist::from_counts(
+            counts.root_counts().sorted_desc(),
+            n_queries,
+        ));
+        for s in ordered {
+            let dist = NodeDist::from_counts(counts.ml_counts(&s), n_queries);
+            pst.insert(s, dist);
+        }
+
+        let name = config.display_name();
+        let total_sessions = counts.total_sessions;
+        let total_occurrences = counts.total_occurrences;
+        Vmm {
+            pst,
+            escape_table: counts.into_escape_table(),
+            total_sessions,
+            total_occurrences,
+            n_queries,
+            config,
+            name,
+        }
+    }
+
+    /// Number of PST nodes including the root (Table VII metric).
+    pub fn node_count(&self) -> usize {
+        self.pst.len()
+    }
+
+    /// The underlying tree.
+    pub fn pst(&self) -> &Pst {
+        &self.pst
+    }
+
+    /// Training configuration.
+    pub fn config(&self) -> &VmmConfig {
+        &self.config
+    }
+
+    /// |Q| seen at training time.
+    pub fn n_queries(&self) -> usize {
+        self.n_queries
+    }
+
+    /// Longest suffix of `context` that is a (non-root) state:
+    /// `(node index, matched length)`.
+    pub fn match_state(&self, context: &[QueryId]) -> Option<(u32, usize)> {
+        let (idx, matched) = self.pst.longest_suffix(context);
+        (matched > 0).then_some((idx, matched))
+    }
+
+    /// Escape probability of Eq. (6) for context `s` (see
+    /// [`WindowCounts::escape_prob`] for the derivation).
+    pub fn escape_prob(&self, s: &[QueryId]) -> f64 {
+        debug_assert!(!s.is_empty());
+        let suffix = &s[1..];
+        if suffix.is_empty() {
+            let den = self.total_occurrences + self.total_sessions;
+            if den == 0 {
+                return 1.0;
+            }
+            return (self.total_sessions as f64 / den as f64).max(1e-6);
+        }
+        match self.escape_table.get(suffix) {
+            None => 1.0,
+            Some(&(0, _)) => 1.0,
+            Some(&(total, at_start)) => (at_start as f64 / total as f64).max(1e-6),
+        }
+    }
+
+    /// `P(q | context)` by longest-suffix matching **without** escape — the
+    /// single-VMM convention (renormalization cancels escape, §IV-C.2(b)).
+    /// Falls back to the root prior when nothing matches.
+    pub fn cond_prob(&self, context: &[QueryId], q: QueryId) -> f64 {
+        let (idx, _) = self.pst.longest_suffix(context);
+        self.pst.node(idx).dist.prob(q)
+    }
+
+    /// `P̂(q | context)` with the context-escape recursion of Eq. (5):
+    /// unmatched contexts pay the escape penalty while trimming their oldest
+    /// query, which is what lets the MVMM discount partially-matching
+    /// components.
+    pub fn cond_prob_escaped(&self, context: &[QueryId], q: QueryId) -> f64 {
+        let mut s = context;
+        let mut factor = 1.0;
+        loop {
+            if s.is_empty() {
+                return factor * self.pst.root().dist.prob(q);
+            }
+            if let Some(idx) = self.pst.find(s) {
+                return factor * self.pst.node(idx).dist.prob(q);
+            }
+            factor *= self.escape_prob(s);
+            s = &s[1..];
+        }
+    }
+
+    /// `log10 P̂_D(sequence)` with escape (Eq. 3), used by the MVMM fit.
+    pub fn sequence_log10_prob_escaped(&self, seq: &[QueryId]) -> f64 {
+        let mut lp = 0.0;
+        for i in 1..seq.len() {
+            lp += self.cond_prob_escaped(&seq[..i], seq[i]).max(1e-300).log10();
+        }
+        lp
+    }
+}
+
+impl Recommender for Vmm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn recommend(&self, context: &[QueryId], k: usize) -> Vec<Scored> {
+        let Some((mut idx, _)) = self.match_state(context) else {
+            return Vec::new();
+        };
+        // Defensive: walk toward the root if a state lacks evidence (cannot
+        // happen with the growth rule, but keeps the API total).
+        loop {
+            let node = self.pst.node(idx);
+            if !node.dist.is_empty() {
+                return node.dist.top_k(k);
+            }
+            match node.parent {
+                Some(p) if p != 0 => idx = p,
+                _ => return Vec::new(),
+            }
+        }
+    }
+
+    fn covers(&self, context: &[QueryId]) -> bool {
+        self.match_state(context).is_some()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let table: usize = self
+            .escape_table.keys().map(|w| {
+                w.len() * std::mem::size_of::<QueryId>()
+                    + std::mem::size_of::<QuerySeq>()
+                    + std::mem::size_of::<(u64, u64)>()
+                    + sqp_common::mem::HASH_ENTRY_OVERHEAD
+            })
+            .sum();
+        self.pst.heap_bytes() + table
+    }
+}
+
+impl SequenceScorer for Vmm {
+    fn sequence_log10_prob(&self, seq: &[QueryId]) -> f64 {
+        let mut lp = 0.0;
+        for i in 1..seq.len() {
+            lp += self.cond_prob(&seq[..i], seq[i]).max(1e-300).log10();
+        }
+        lp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{toy_corpus, toy_test_sequence, TOY_EPSILON, TOY_TEST_SEQUENCE_PROB};
+    use sqp_common::seq;
+
+    fn toy_vmm() -> Vmm {
+        Vmm::train(&toy_corpus(), VmmConfig::with_epsilon(TOY_EPSILON))
+    }
+
+    #[test]
+    fn figure3_state_set() {
+        let m = toy_vmm();
+        // Paper: S = {q1q0, q0, q1} (+ root e) with ε = 0.1.
+        assert_eq!(m.node_count(), 4);
+        assert!(m.pst().contains(&seq(&[0])));
+        assert!(m.pst().contains(&seq(&[1])));
+        assert!(m.pst().contains(&seq(&[1, 0])));
+        assert!(!m.pst().contains(&seq(&[0, 1]))); // D_KL = 0.0837 < 0.1
+    }
+
+    #[test]
+    fn figure3_node_probabilities() {
+        let m = toy_vmm();
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-12;
+        assert!(close(m.cond_prob(&seq(&[0]), QueryId(0)), 0.9));
+        assert!(close(m.cond_prob(&seq(&[0]), QueryId(1)), 0.1));
+        assert!(close(m.cond_prob(&seq(&[1]), QueryId(0)), 0.8));
+        assert!(close(m.cond_prob(&seq(&[1]), QueryId(1)), 0.2));
+        assert!(close(m.cond_prob(&seq(&[1, 0]), QueryId(0)), 0.3));
+        assert!(close(m.cond_prob(&seq(&[1, 0]), QueryId(1)), 0.7));
+        // Root prior: 187/218, 31/218.
+        assert!(close(m.cond_prob(&[], QueryId(0)), 187.0 / 218.0));
+        assert!(close(m.cond_prob(&[], QueryId(1)), 31.0 / 218.0));
+    }
+
+    #[test]
+    fn paper_test_sequence_probability() {
+        // 1 × 0.1 × 0.8 × 0.7 × 0.2 × 0.8 from §IV-B.2.
+        let m = toy_vmm();
+        let lp = m.sequence_log10_prob(&toy_test_sequence());
+        assert!(
+            (lp - TOY_TEST_SEQUENCE_PROB.log10()).abs() < 1e-10,
+            "lp = {lp}, expected {}",
+            TOY_TEST_SEQUENCE_PROB.log10()
+        );
+    }
+
+    #[test]
+    fn paper_recommendation_examples() {
+        // §IV-B.2: after q0 recommend q0; after [q1,q0] recommend q1.
+        let m = toy_vmm();
+        assert_eq!(m.recommend(&seq(&[0]), 1)[0].query, QueryId(0));
+        assert_eq!(m.recommend(&seq(&[1, 0]), 1)[0].query, QueryId(1));
+    }
+
+    #[test]
+    fn epsilon_extremes_match_figure4() {
+        // ε = +∞: Adjacency-like 2-gram (only length-1 states).
+        let wide = Vmm::train(&toy_corpus(), VmmConfig::with_epsilon(f64::INFINITY));
+        assert_eq!(wide.node_count(), 3); // root + q0 + q1
+        // ε = 0: infinitely bounded VMM — every candidate becomes a state.
+        let full = Vmm::train(&toy_corpus(), VmmConfig::with_epsilon(0.0));
+        assert_eq!(full.node_count(), 5); // root + q0 + q1 + q1q0 + q0q1
+        assert!(full.pst().contains(&seq(&[0, 1])));
+    }
+
+    #[test]
+    fn intermediate_epsilon_rejects_q1q0() {
+        // 0.3449 < 0.5 ⇒ even q1q0 is rejected.
+        let m = Vmm::train(&toy_corpus(), VmmConfig::with_epsilon(0.5));
+        assert_eq!(m.node_count(), 3);
+        assert!(!m.pst().contains(&seq(&[1, 0])));
+    }
+
+    #[test]
+    fn depth_bound_caps_states() {
+        let m = Vmm::train(&toy_corpus(), VmmConfig::bounded(1, 0.0));
+        assert_eq!(m.node_count(), 3);
+        assert_eq!(m.config().max_depth, Some(1));
+        assert_eq!(m.name(), "1-bounded VMM (0)");
+    }
+
+    #[test]
+    fn min_support_prunes_candidates() {
+        // [0,1] has continuation support 2; a threshold of 5 removes it even
+        // at ε = 0.
+        let m = Vmm::train(
+            &toy_corpus(),
+            VmmConfig {
+                epsilon: 0.0,
+                max_depth: None,
+                min_support: 5,
+            },
+        );
+        assert!(!m.pst().contains(&seq(&[0, 1])));
+        assert!(m.pst().contains(&seq(&[1, 0])));
+    }
+
+    #[test]
+    fn paper_escape_example_q1q1() {
+        // §IV-C.1(b): user submits q1q1; the state used is q1. The escape
+        // probability is ‖[e,q1]‖ / ‖q1‖ = 18/31.
+        let m = toy_vmm();
+        assert!(!m.pst().contains(&seq(&[1, 1])));
+        let esc = m.escape_prob(&seq(&[1, 1]));
+        assert!((esc - 18.0 / 31.0).abs() < 1e-12, "esc = {esc}");
+        let p = m.cond_prob_escaped(&seq(&[1, 1]), QueryId(0));
+        assert!((p - (18.0 / 31.0) * 0.8).abs() < 1e-12);
+        // Without escape the same context just uses state q1.
+        assert!((m.cond_prob(&seq(&[1, 1]), QueryId(0)) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn escaped_prob_equals_plain_on_exact_states() {
+        let m = toy_vmm();
+        for ctx in [seq(&[0]), seq(&[1]), seq(&[1, 0])] {
+            for q in [QueryId(0), QueryId(1)] {
+                assert!(
+                    (m.cond_prob(&ctx, q) - m.cond_prob_escaped(&ctx, q)).abs() < 1e-15
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_context_is_uncovered() {
+        let m = toy_vmm();
+        assert!(m.recommend(&seq(&[42]), 5).is_empty());
+        assert!(!m.covers(&seq(&[42])));
+        assert!(m.recommend(&[], 5).is_empty());
+        // Context disparity is fine as long as the last query is known.
+        assert!(m.covers(&seq(&[42, 0])));
+    }
+
+    #[test]
+    fn coverage_matches_adjacency_structurally() {
+        // Fig 10: VMM coverage == Adjacency coverage.
+        let corpus = toy_corpus();
+        let vmm = Vmm::train(&corpus, VmmConfig::with_epsilon(0.05));
+        let adj = crate::adjacency::Adjacency::train(&corpus);
+        for q in 0..4u32 {
+            for q2 in 0..4u32 {
+                let ctx = seq(&[q, q2]);
+                assert_eq!(
+                    vmm.covers(&ctx),
+                    adj.covers(&ctx),
+                    "coverage mismatch on {ctx:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_distributions_sum_to_one() {
+        let m = toy_vmm();
+        for ctx in [&[][..], &seq(&[0]), &seq(&[1]), &seq(&[1, 0])] {
+            let total: f64 = (0..2).map(|q| m.cond_prob(ctx, QueryId(q))).sum();
+            assert!((total - 1.0).abs() < 1e-9, "ctx {ctx:?} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let a = toy_vmm();
+        let b = toy_vmm();
+        assert_eq!(a.node_count(), b.node_count());
+        let ra = a.recommend(&seq(&[1, 0]), 5);
+        let rb = b.recommend(&seq(&[1, 0]), 5);
+        assert_eq!(ra.len(), rb.len());
+        for (x, y) in ra.iter().zip(&rb) {
+            assert_eq!(x.query, y.query);
+            assert_eq!(x.score, y.score);
+        }
+    }
+
+    #[test]
+    fn memory_accounting_positive_and_monotone() {
+        let small = toy_vmm();
+        let full = Vmm::train(&toy_corpus(), VmmConfig::with_epsilon(0.0));
+        assert!(small.memory_bytes() > 0);
+        assert!(full.memory_bytes() >= small.memory_bytes());
+    }
+
+    #[test]
+    fn empty_training_data() {
+        let m = Vmm::train(&[], VmmConfig::default());
+        assert_eq!(m.node_count(), 1);
+        assert!(m.recommend(&seq(&[0]), 5).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arbitrary_corpus() -> impl Strategy<Value = Vec<(QuerySeq, u64)>> {
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(0u32..6, 1..5),
+                1u64..20,
+            ),
+            1..25,
+        )
+        .prop_map(|raw| {
+            let mut map = std::collections::HashMap::new();
+            for (s, f) in raw {
+                let key: QuerySeq = s.into_iter().map(QueryId).collect();
+                *map.entry(key).or_insert(0) += f;
+            }
+            map.into_iter().collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn state_set_is_suffix_closed(corpus in arbitrary_corpus(), eps in 0.0f64..0.2) {
+            let m = Vmm::train(&corpus, VmmConfig::with_epsilon(eps));
+            for node in m.pst().iter() {
+                let mut s: &[QueryId] = &node.context;
+                while !s.is_empty() {
+                    prop_assert!(m.pst().contains(s), "suffix {s:?} missing");
+                    s = &s[1..];
+                }
+            }
+        }
+
+        #[test]
+        fn escape_probs_in_unit_interval(corpus in arbitrary_corpus()) {
+            let m = Vmm::train(&corpus, VmmConfig::default());
+            for q1 in 0..7u32 {
+                for q2 in 0..7u32 {
+                    let e = m.escape_prob(&sqp_common::seq(&[q1, q2]));
+                    prop_assert!((0.0..=1.0).contains(&e), "escape {e}");
+                }
+            }
+        }
+
+        #[test]
+        fn conditionals_sum_to_one(corpus in arbitrary_corpus()) {
+            let m = Vmm::train(&corpus, VmmConfig::with_epsilon(0.01));
+            // The smoothed distribution sums to 1 over the query universe Q
+            // actually observed in training (ids need not be dense).
+            let universe: std::collections::BTreeSet<QueryId> = corpus
+                .iter()
+                .flat_map(|(s, _)| s.iter().copied())
+                .collect();
+            prop_assert_eq!(universe.len(), m.n_queries());
+            // Check a handful of contexts, including unmatched ones.
+            for ctx in [&[][..], &sqp_common::seq(&[0]), &sqp_common::seq(&[1, 2])] {
+                let total: f64 = universe.iter().map(|&q| m.cond_prob(ctx, q)).sum();
+                prop_assert!((total - 1.0).abs() < 1e-6, "ctx {ctx:?} -> {total}");
+            }
+        }
+
+        #[test]
+        fn recommendations_sorted_and_bounded(corpus in arbitrary_corpus(), k in 1usize..6) {
+            let m = Vmm::train(&corpus, VmmConfig::default());
+            for q in 0..6u32 {
+                let recs = m.recommend(&sqp_common::seq(&[q]), k);
+                prop_assert!(recs.len() <= k);
+                for w in recs.windows(2) {
+                    prop_assert!(w[0].score >= w[1].score);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Plain-text table and series rendering for the experiment binaries.
+//!
+//! Experiments print the same rows/series the paper's tables and figures
+//! report; these helpers keep the output aligned and uniform.
+
+/// Render an aligned text table with a title row.
+pub fn render_table(title: &str, headers: &[String], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let sep_len = widths.iter().sum::<usize>() + 3 * ncols.saturating_sub(1);
+    out.push_str(&"=".repeat(title.len().max(sep_len.min(100))));
+    out.push('\n');
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    };
+    out.push_str(&fmt_row(headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(sep_len.min(100)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render an `(x, y)` series as gnuplot-style lines under a header —
+/// the "figure" output format.
+pub fn render_series(name: &str, points: &[(f64, f64)]) -> String {
+    let mut out = format!("# series: {name}\n");
+    for (x, y) in points {
+        out.push_str(&format!("{x}\t{y:.6}\n"));
+    }
+    out
+}
+
+/// Format a fraction as a percentage with one decimal ("60.5%").
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format a float with 4 decimals (NDCG convention).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Format a `Duration` in milliseconds.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+/// Convert string slices to owned header vectors.
+pub fn headers(cols: &[&str]) -> Vec<String> {
+    cols.iter().map(|s| s.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            "Demo",
+            &headers(&["model", "ndcg"]),
+            &[
+                vec!["Adj.".into(), "0.41".into()],
+                vec!["MVMM".into(), "0.62".into()],
+            ],
+        );
+        assert!(t.contains("Demo"));
+        assert!(t.contains("model"));
+        let lines: Vec<&str> = t.lines().collect();
+        // Header and data rows have the same column boundary.
+        let header_pipe = lines[2].find('|').unwrap();
+        let row_pipe = lines[4].find('|').unwrap();
+        assert_eq!(header_pipe, row_pipe);
+    }
+
+    #[test]
+    fn series_lines() {
+        let s = render_series("coverage", &[(1.0, 0.5), (2.0, 0.25)]);
+        assert!(s.starts_with("# series: coverage"));
+        assert!(s.contains("1\t0.500000"));
+        assert!(s.contains("2\t0.250000"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.605), "60.5%");
+        assert_eq!(f4(0.12345), "0.1235");
+        assert_eq!(ms(std::time::Duration::from_millis(1500)), "1500.0");
+    }
+
+    #[test]
+    fn table_handles_empty_rows() {
+        let t = render_table("Empty", &headers(&["a"]), &[]);
+        assert!(t.contains("Empty"));
+        assert!(t.contains('a'));
+    }
+}

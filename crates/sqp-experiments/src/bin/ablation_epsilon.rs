@@ -1,0 +1,8 @@
+//! Ablation (VMM epsilon sweep).
+fn main() {
+    sqp_experiments::run_data_experiment(
+        "ablation_epsilon",
+        "Ablation (VMM epsilon sweep)",
+        sqp_experiments::extras::ablation_epsilon,
+    );
+}

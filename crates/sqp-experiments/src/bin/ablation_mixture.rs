@@ -1,0 +1,8 @@
+//! Ablation (MVMM mixture size).
+fn main() {
+    sqp_experiments::run_data_experiment(
+        "ablation_mixture",
+        "Ablation (MVMM mixture size)",
+        sqp_experiments::extras::ablation_mixture,
+    );
+}

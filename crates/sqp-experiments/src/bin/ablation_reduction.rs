@@ -1,0 +1,8 @@
+//! Ablation (data-reduction threshold).
+fn main() {
+    sqp_experiments::run_data_experiment(
+        "ablation_reduction",
+        "Ablation (data-reduction threshold)",
+        sqp_experiments::extras::ablation_reduction,
+    );
+}

@@ -1,0 +1,8 @@
+//! Extension: §VI future-work models (HMM, back-off N-gram) vs the line-up.
+fn main() {
+    sqp_experiments::run_data_experiment(
+        "ext_future_models",
+        "Extension (§VI future-work models: HMM, back-off N-gram)",
+        sqp_experiments::extras::ext_future_models,
+    );
+}

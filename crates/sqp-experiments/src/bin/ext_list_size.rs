@@ -1,0 +1,8 @@
+//! Extension (recommendation list size).
+fn main() {
+    sqp_experiments::run_data_experiment(
+        "ext_list_size",
+        "Extension (recommendation list size)",
+        sqp_experiments::extras::ext_list_size,
+    );
+}

@@ -1,0 +1,8 @@
+//! Extension (Eq. 1 average log-loss).
+fn main() {
+    sqp_experiments::run_data_experiment(
+        "ext_logloss",
+        "Extension (Eq. 1 average log-loss)",
+        sqp_experiments::extras::ext_logloss,
+    );
+}

@@ -1,0 +1,8 @@
+//! Extension (retraining cadence, §VI).
+fn main() {
+    sqp_experiments::run_data_experiment(
+        "ext_retraining",
+        "Extension (retraining cadence, §VI)",
+        sqp_experiments::extras::ext_retraining,
+    );
+}

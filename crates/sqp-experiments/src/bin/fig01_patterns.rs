@@ -1,0 +1,8 @@
+//! Figure 1: distribution of the seven session-pattern types.
+fn main() {
+    sqp_experiments::run_data_experiment(
+        "fig01",
+        "Figure 1 (session pattern distribution)",
+        sqp_experiments::data_figs::fig01_patterns,
+    );
+}

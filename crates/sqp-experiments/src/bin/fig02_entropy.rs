@@ -1,0 +1,8 @@
+//! Figure 2: average prediction entropy versus context length.
+fn main() {
+    sqp_experiments::run_data_experiment(
+        "fig02",
+        "Figure 2 (prediction entropy vs context length)",
+        sqp_experiments::data_figs::fig02_entropy,
+    );
+}

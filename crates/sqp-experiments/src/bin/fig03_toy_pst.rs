@@ -1,0 +1,4 @@
+//! Figure 3 + Table II: the paper's toy PST, reproduced exactly.
+fn main() {
+    println!("{}", sqp_experiments::data_figs::fig03_toy_pst());
+}

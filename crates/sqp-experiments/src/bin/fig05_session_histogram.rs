@@ -1,0 +1,8 @@
+//! Figure 5: session count versus session length.
+fn main() {
+    sqp_experiments::run_data_experiment(
+        "fig05",
+        "Figure 5 (session count vs session length)",
+        sqp_experiments::data_figs::fig05_session_histogram,
+    );
+}

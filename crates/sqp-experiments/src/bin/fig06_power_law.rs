@@ -1,0 +1,8 @@
+//! Figure 6: power-law distribution of aggregated sessions.
+fn main() {
+    sqp_experiments::run_data_experiment(
+        "fig06",
+        "Figure 6 (power law of aggregated sessions)",
+        sqp_experiments::data_figs::fig06_power_law,
+    );
+}

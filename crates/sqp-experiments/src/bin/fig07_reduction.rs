@@ -1,0 +1,8 @@
+//! Figure 7: session histogram after data reduction.
+fn main() {
+    sqp_experiments::run_data_experiment(
+        "fig07",
+        "Figure 7 (histogram after data reduction)",
+        sqp_experiments::data_figs::fig07_reduction,
+    );
+}

@@ -1,0 +1,8 @@
+//! Figure 8: NDCG@{1,3,5} — sequence models vs pair-wise baselines.
+fn main() {
+    sqp_experiments::run_model_experiment(
+        "fig08",
+        "Figure 8 (accuracy: pair-wise vs sequence models)",
+        sqp_experiments::model_figs::fig08_accuracy_pairwise,
+    );
+}

@@ -1,0 +1,8 @@
+//! Figure 9: NDCG@{1,3,5} — MVMM vs single VMMs.
+fn main() {
+    sqp_experiments::run_model_experiment(
+        "fig09",
+        "Figure 9 (accuracy: MVMM vs VMM)",
+        sqp_experiments::model_figs::fig09_accuracy_vmm,
+    );
+}

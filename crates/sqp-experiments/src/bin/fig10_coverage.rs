@@ -1,0 +1,8 @@
+//! Figure 10: overall coverage per method.
+fn main() {
+    sqp_experiments::run_model_experiment(
+        "fig10",
+        "Figure 10 (coverage of various methods)",
+        sqp_experiments::model_figs::fig10_coverage,
+    );
+}

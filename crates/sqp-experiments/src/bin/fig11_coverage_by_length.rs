@@ -1,0 +1,8 @@
+//! Figure 11: coverage versus context length.
+fn main() {
+    sqp_experiments::run_model_experiment(
+        "fig11",
+        "Figure 11 (coverage vs context length)",
+        sqp_experiments::model_figs::fig11_coverage_by_length,
+    );
+}

@@ -1,0 +1,8 @@
+//! Figure 12: training time versus training data.
+fn main() {
+    sqp_experiments::run_data_experiment(
+        "fig12",
+        "Figure 12 (training time scaling)",
+        sqp_experiments::model_figs::fig12_training_time,
+    );
+}

@@ -1,0 +1,8 @@
+//! Figure 13: user-evaluation precision and recall.
+fn main() {
+    sqp_experiments::run_model_experiment(
+        "fig13",
+        "Figure 13 (user evaluation precision/recall)",
+        sqp_experiments::user_figs::fig13_user_eval,
+    );
+}

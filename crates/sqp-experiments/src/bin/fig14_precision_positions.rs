@@ -1,0 +1,8 @@
+//! Figure 14: precision over the top-5 positions.
+fn main() {
+    sqp_experiments::run_model_experiment(
+        "fig14",
+        "Figure 14 (precision over top-5 positions)",
+        sqp_experiments::user_figs::fig14_precision_positions,
+    );
+}

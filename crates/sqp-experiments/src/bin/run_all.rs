@@ -1,0 +1,75 @@
+//! Run the complete experiment suite — every table and figure of the paper —
+//! on one shared corpus and one trained model roster.
+
+use sqp_experiments::{banner, data_figs, model_figs, user_figs, ExpArgs, TrainedModels, Workbench};
+use std::time::Instant;
+
+fn section(title: &str) {
+    println!("\n{}", "#".repeat(78));
+    println!("# {title}");
+    println!("{}", "#".repeat(78));
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!("{}", banner("run_all", "the full evaluation suite (§V)", &args));
+
+    let t0 = Instant::now();
+    eprintln!("generating logs and running the pipeline...");
+    let wb = Workbench::build(&args);
+    eprintln!("corpus ready in {:.1}s; training models...", t0.elapsed().as_secs_f64());
+    let t1 = Instant::now();
+    let models = TrainedModels::train(&wb);
+    eprintln!("models trained in {:.1}s", t1.elapsed().as_secs_f64());
+
+    section("Figure 1 / Table I — session patterns");
+    println!("{}", data_figs::fig01_patterns(&wb));
+    println!("{}", data_figs::tab01_pattern_examples(&wb));
+
+    section("Figure 2 — prediction entropy");
+    println!("{}", data_figs::fig02_entropy(&wb));
+
+    section("Figure 3 / Table II — toy PST (exact reproduction)");
+    println!("{}", data_figs::fig03_toy_pst());
+
+    section("Table IV / Table V — dataset statistics");
+    println!("{}", data_figs::tab04_dataset_stats(&wb));
+    println!("{}", data_figs::tab05_sample_sessions(&wb));
+
+    section("Figure 5 — session length histogram");
+    println!("{}", data_figs::fig05_session_histogram(&wb));
+
+    section("Figure 6 — power law of aggregated sessions");
+    println!("{}", data_figs::fig06_power_law(&wb));
+
+    section("Figure 7 — data reduction");
+    println!("{}", data_figs::fig07_reduction(&wb));
+
+    section("Figure 8 — accuracy: sequence vs pair-wise");
+    println!("{}", model_figs::fig08_accuracy_pairwise(&wb, &models));
+
+    section("Figure 9 — accuracy: MVMM vs VMM");
+    println!("{}", model_figs::fig09_accuracy_vmm(&wb, &models));
+
+    section("Figure 10 — coverage");
+    println!("{}", model_figs::fig10_coverage(&wb, &models));
+
+    section("Figure 11 — coverage vs context length");
+    println!("{}", model_figs::fig11_coverage_by_length(&wb, &models));
+
+    section("Table VI — unpredictability reasons");
+    println!("{}", model_figs::tab06_unpredictable_reasons(&wb, &models));
+
+    section("Table VII — memory footprint");
+    println!("{}", model_figs::tab07_memory(&wb, &models));
+
+    section("Figure 12 — training time");
+    println!("{}", model_figs::fig12_training_time(&wb));
+
+    section("Table VIII / Figures 13–14 — user study");
+    println!("{}", user_figs::tab08_user_labels(&wb, &models));
+    println!("{}", user_figs::fig13_user_eval(&wb, &models));
+    println!("{}", user_figs::fig14_precision_positions(&wb, &models));
+
+    eprintln!("\nfull suite completed in {:.1}s", t0.elapsed().as_secs_f64());
+}

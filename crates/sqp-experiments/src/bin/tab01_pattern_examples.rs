@@ -1,0 +1,8 @@
+//! Table I: sample search sequence patterns.
+fn main() {
+    sqp_experiments::run_data_experiment(
+        "tab01",
+        "Table I (sample search sequence patterns)",
+        sqp_experiments::data_figs::tab01_pattern_examples,
+    );
+}

@@ -1,0 +1,8 @@
+//! Table IV: summary statistics of segmented sessions.
+fn main() {
+    sqp_experiments::run_data_experiment(
+        "tab04",
+        "Table IV (dataset summary statistics)",
+        sqp_experiments::data_figs::tab04_dataset_stats,
+    );
+}

@@ -1,0 +1,8 @@
+//! Table V: sample sessions.
+fn main() {
+    sqp_experiments::run_data_experiment(
+        "tab05",
+        "Table V (sample sessions)",
+        sqp_experiments::data_figs::tab05_sample_sessions,
+    );
+}

@@ -1,0 +1,8 @@
+//! Table VI: reasons for unpredictable queries.
+fn main() {
+    sqp_experiments::run_model_experiment(
+        "tab06",
+        "Table VI (reasons for unpredictable queries)",
+        sqp_experiments::model_figs::tab06_unpredictable_reasons,
+    );
+}

@@ -1,0 +1,8 @@
+//! Table VII: memory footprint per method.
+fn main() {
+    sqp_experiments::run_model_experiment(
+        "tab07",
+        "Table VII (memory footprint)",
+        sqp_experiments::model_figs::tab07_memory,
+    );
+}

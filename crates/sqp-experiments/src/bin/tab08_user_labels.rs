@@ -1,0 +1,8 @@
+//! Table VIII: user labeling distribution.
+fn main() {
+    sqp_experiments::run_model_experiment(
+        "tab08",
+        "Table VIII (user labeling distribution)",
+        sqp_experiments::user_figs::tab08_user_labels,
+    );
+}

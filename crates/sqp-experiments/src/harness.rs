@@ -1,0 +1,193 @@
+//! Shared experiment harness: argument parsing, corpus construction, and the
+//! trained model roster reused by all accuracy/coverage experiments.
+
+use sqp_core::{Adjacency, Cooccurrence, Mvmm, MvmmConfig, NGram, Recommender, Vmm, VmmConfig};
+use sqp_logsim::{SimConfig, SimulatedLogs};
+use sqp_sessions::{PipelineConfig, ProcessedLogs};
+
+/// Command-line arguments shared by every experiment binary.
+#[derive(Clone, Debug)]
+pub struct ExpArgs {
+    /// Sessions in the training epoch.
+    pub train_sessions: usize,
+    /// Sessions in the test epoch.
+    pub test_sessions: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Aggregated-session frequency reduction threshold (drop ≤ t).
+    pub reduction_threshold: u64,
+    /// Use the 3-component MVMM instead of the 11-component ε sweep.
+    pub quick: bool,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        Self {
+            train_sessions: 120_000,
+            test_sessions: 30_000,
+            seed: 42,
+            reduction_threshold: 1,
+            quick: false,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parse `--train-sessions N --test-sessions N --seed N --reduction N
+    /// --quick` from `std::env::args`, falling back to defaults.
+    pub fn parse() -> Self {
+        let mut args = Self::default();
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            let take_val = |i: &mut usize| -> Option<String> {
+                *i += 1;
+                argv.get(*i).cloned()
+            };
+            match argv[i].as_str() {
+                "--train-sessions" => {
+                    args.train_sessions = take_val(&mut i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(args.train_sessions)
+                }
+                "--test-sessions" => {
+                    args.test_sessions = take_val(&mut i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(args.test_sessions)
+                }
+                "--seed" => {
+                    args.seed = take_val(&mut i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(args.seed)
+                }
+                "--reduction" => {
+                    args.reduction_threshold = take_val(&mut i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(args.reduction_threshold)
+                }
+                "--quick" => args.quick = true,
+                other => eprintln!("warning: unknown argument {other}"),
+            }
+            i += 1;
+        }
+        args
+    }
+
+    /// The simulator configuration for these arguments.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            train_sessions: self.train_sessions,
+            test_sessions: self.test_sessions,
+            seed: self.seed,
+            ..SimConfig::default()
+        }
+    }
+
+    /// The pipeline configuration for these arguments.
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        PipelineConfig {
+            reduction_threshold: self.reduction_threshold,
+            ..PipelineConfig::default()
+        }
+    }
+}
+
+/// The generated + processed corpus every experiment works from.
+pub struct Workbench {
+    /// Raw simulated logs with ground truth.
+    pub logs: SimulatedLogs,
+    /// Pipeline output.
+    pub processed: ProcessedLogs,
+    /// The arguments that produced this bench.
+    pub args: ExpArgs,
+}
+
+impl Workbench {
+    /// Generate and process the corpus.
+    pub fn build(args: &ExpArgs) -> Self {
+        let logs = sqp_logsim::generate(&args.sim_config());
+        let processed = sqp_sessions::process(&logs, &args.pipeline_config());
+        Workbench {
+            logs,
+            processed,
+            args: args.clone(),
+        }
+    }
+
+    /// The weighted training sessions models consume.
+    pub fn train_sessions(&self) -> &[(sqp_common::QuerySeq, u64)] {
+        &self.processed.train.aggregated.sessions
+    }
+}
+
+/// The paper's model roster, trained once and shared by the experiments.
+pub struct TrainedModels {
+    /// Adjacency baseline.
+    pub adjacency: Adjacency,
+    /// Co-occurrence baseline.
+    pub cooccurrence: Cooccurrence,
+    /// Variable-length N-gram.
+    pub ngram: NGram,
+    /// VMM (0.0) — the full-size PST.
+    pub vmm_00: Vmm,
+    /// VMM (0.05) — the paper's sweet spot.
+    pub vmm_005: Vmm,
+    /// VMM (0.1).
+    pub vmm_01: Vmm,
+    /// The MVMM mixture.
+    pub mvmm: Mvmm,
+}
+
+impl TrainedModels {
+    /// Train the full roster.
+    pub fn train(wb: &Workbench) -> Self {
+        let sessions = wb.train_sessions();
+        let mvmm_cfg = if wb.args.quick {
+            MvmmConfig::small()
+        } else {
+            MvmmConfig::epsilon_sweep()
+        };
+        TrainedModels {
+            adjacency: Adjacency::train(sessions),
+            cooccurrence: Cooccurrence::train(sessions),
+            ngram: NGram::train(sessions),
+            vmm_00: Vmm::train(sessions, VmmConfig::with_epsilon(0.0)),
+            vmm_005: Vmm::train(sessions, VmmConfig::with_epsilon(0.05)),
+            vmm_01: Vmm::train(sessions, VmmConfig::with_epsilon(0.1)),
+            mvmm: Mvmm::train(sessions, &mvmm_cfg),
+        }
+    }
+
+    /// All models as `(label, &dyn Recommender)` in the paper's order.
+    pub fn all(&self) -> Vec<(&str, &dyn Recommender)> {
+        vec![
+            ("Co-occ.", &self.cooccurrence),
+            ("Adj.", &self.adjacency),
+            ("N-gram", &self.ngram),
+            ("VMM (0)", &self.vmm_00),
+            ("VMM (0.05)", &self.vmm_005),
+            ("VMM (0.1)", &self.vmm_01),
+            ("MVMM", &self.mvmm),
+        ]
+    }
+
+    /// The §V-H user-study roster (Adj., Co-occ., N-gram, MVMM).
+    pub fn user_study(&self) -> Vec<&dyn Recommender> {
+        vec![
+            &self.cooccurrence,
+            &self.adjacency,
+            &self.ngram,
+            &self.mvmm,
+        ]
+    }
+}
+
+/// Standard experiment banner.
+pub fn banner(id: &str, paper_artifact: &str, args: &ExpArgs) -> String {
+    format!(
+        "## {id} — reproducing {paper_artifact}\n\
+         ## He et al., \"Web Query Recommendation via Sequential Query Prediction\", ICDE 2009\n\
+         ## corpus: {} train / {} test sessions, seed {}, reduction ≤{}\n",
+        args.train_sessions, args.test_sessions, args.seed, args.reduction_threshold
+    )
+}

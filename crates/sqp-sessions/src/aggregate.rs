@@ -1,0 +1,177 @@
+//! Session aggregation — the paper's §V-A.3.
+//!
+//! *"After session segmentation, identical sessions from different users are
+//! aggregated."* Queries are interned here, so everything downstream works on
+//! dense [`QueryId`]s.
+
+use crate::segment::TextSession;
+use sqp_common::{Counter, FxHashMap, Interner, QueryId, QuerySeq};
+
+/// Aggregated sessions: each distinct query sequence with its frequency.
+#[derive(Clone, Debug, Default)]
+pub struct Aggregated {
+    /// `(sequence, frequency)` pairs, sorted by descending frequency then by
+    /// sequence for full determinism.
+    pub sessions: Vec<(QuerySeq, u64)>,
+}
+
+impl Aggregated {
+    /// Total session mass (sum of frequencies).
+    pub fn total_sessions(&self) -> u64 {
+        self.sessions.iter().map(|(_, f)| f).sum()
+    }
+
+    /// Number of distinct aggregated sessions.
+    pub fn unique_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Total searches (queries weighted by frequency).
+    pub fn total_searches(&self) -> u64 {
+        self.sessions
+            .iter()
+            .map(|(s, f)| s.len() as u64 * f)
+            .sum()
+    }
+
+    /// Distinct query ids appearing anywhere.
+    pub fn unique_queries(&self) -> usize {
+        let mut set: sqp_common::FxHashSet<QueryId> = Default::default();
+        for (s, _) in &self.sessions {
+            set.extend(s.iter().copied());
+        }
+        set.len()
+    }
+
+    /// Frequencies of each session length (weighted histogram).
+    pub fn length_histogram(&self) -> sqp_common::Histogram {
+        let mut h = sqp_common::Histogram::new();
+        for (s, f) in &self.sessions {
+            h.add(s.len() as u64, *f);
+        }
+        h
+    }
+
+    /// The frequency spectrum for the power-law analysis (Fig 6):
+    /// `(rank, frequency)` with rank 1 = most frequent aggregated session.
+    pub fn rank_frequency(&self) -> Vec<(f64, f64)> {
+        // `sessions` is sorted by descending frequency already.
+        self.sessions
+            .iter()
+            .enumerate()
+            .map(|(i, (_, f))| ((i + 1) as f64, *f as f64))
+            .collect()
+    }
+
+    /// Build from pre-interned weighted sequences (used by tests and by the
+    /// reduction step).
+    pub fn from_weighted(mut sessions: Vec<(QuerySeq, u64)>) -> Self {
+        sessions.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        Aggregated { sessions }
+    }
+}
+
+/// Intern and aggregate segmented sessions.
+pub fn aggregate(sessions: &[TextSession], interner: &mut Interner) -> Aggregated {
+    let mut counts: Counter<QuerySeq> = Counter::new();
+    for s in sessions {
+        let seq: QuerySeq = s.queries.iter().map(|q| interner.intern(q)).collect();
+        counts.observe(seq);
+    }
+    let map: FxHashMap<QuerySeq, u64> = counts.into_map();
+    Aggregated::from_weighted(map.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(machine: u64, queries: &[&str]) -> TextSession {
+        TextSession {
+            machine_id: machine,
+            start_time: 0,
+            queries: queries.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn identical_sessions_merge() {
+        let sessions = vec![
+            ts(1, &["a", "b"]),
+            ts(2, &["a", "b"]),
+            ts(3, &["a", "c"]),
+        ];
+        let mut interner = Interner::new();
+        let agg = aggregate(&sessions, &mut interner);
+        assert_eq!(agg.unique_sessions(), 2);
+        assert_eq!(agg.total_sessions(), 3);
+        assert_eq!(agg.sessions[0].1, 2); // most frequent first
+        assert_eq!(interner.len(), 3);
+    }
+
+    #[test]
+    fn mass_is_preserved() {
+        let sessions: Vec<TextSession> = (0..40)
+            .map(|i| ts(i, &[["x", "y", "z"][i as usize % 3]]))
+            .collect();
+        let mut interner = Interner::new();
+        let agg = aggregate(&sessions, &mut interner);
+        assert_eq!(agg.total_sessions(), 40);
+        assert_eq!(agg.total_searches(), 40);
+    }
+
+    #[test]
+    fn searches_weighted_by_length_and_freq() {
+        let sessions = vec![ts(1, &["a", "b", "c"]), ts(2, &["a", "b", "c"]), ts(3, &["d"])];
+        let mut interner = Interner::new();
+        let agg = aggregate(&sessions, &mut interner);
+        assert_eq!(agg.total_searches(), 7);
+        assert_eq!(agg.unique_queries(), 4);
+    }
+
+    #[test]
+    fn length_histogram_weighted() {
+        let sessions = vec![ts(1, &["a", "b"]), ts(2, &["a", "b"]), ts(3, &["c"])];
+        let mut interner = Interner::new();
+        let agg = aggregate(&sessions, &mut interner);
+        let h = agg.length_histogram();
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(1), 1);
+    }
+
+    #[test]
+    fn rank_frequency_is_descending() {
+        let sessions = vec![
+            ts(1, &["a"]),
+            ts(2, &["a"]),
+            ts(3, &["a"]),
+            ts(4, &["b"]),
+            ts(5, &["c"]),
+        ];
+        let mut interner = Interner::new();
+        let agg = aggregate(&sessions, &mut interner);
+        let rf = agg.rank_frequency();
+        assert_eq!(rf[0], (1.0, 3.0));
+        for w in rf.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn deterministic_ordering_breaks_frequency_ties() {
+        let sessions = vec![ts(1, &["b"]), ts(2, &["a"])];
+        let mut interner = Interner::new();
+        let agg = aggregate(&sessions, &mut interner);
+        // Both have frequency 1; order must be stable by sequence.
+        assert_eq!(agg.sessions.len(), 2);
+        assert!(agg.sessions[0].0 < agg.sessions[1].0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut interner = Interner::new();
+        let agg = aggregate(&[], &mut interner);
+        assert_eq!(agg.unique_sessions(), 0);
+        assert_eq!(agg.total_sessions(), 0);
+    }
+}

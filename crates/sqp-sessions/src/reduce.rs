@@ -1,0 +1,165 @@
+//! Data reduction — the paper's §V-A.4.
+//!
+//! *"We observe a large number of aggregated sessions (40%) with frequency
+//! less than or equal to 5. These are most likely rare (one-time) and/or
+//! erroneous sessions, which can be safely discarded."* After reduction,
+//! 60.48% of the paper's training data and 64.72% of its test data remained.
+
+use crate::aggregate::Aggregated;
+
+/// What reduction removed and kept, for the Figure 7 report.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReductionReport {
+    /// Distinct aggregated sessions kept.
+    pub kept_unique: usize,
+    /// Distinct aggregated sessions dropped.
+    pub dropped_unique: usize,
+    /// Session mass kept (sum of frequencies).
+    pub kept_mass: u64,
+    /// Session mass dropped.
+    pub dropped_mass: u64,
+}
+
+impl ReductionReport {
+    /// Fraction of session mass retained — the paper's "60.48% remained".
+    pub fn retention(&self) -> f64 {
+        let total = self.kept_mass + self.dropped_mass;
+        if total == 0 {
+            return 1.0;
+        }
+        self.kept_mass as f64 / total as f64
+    }
+
+    /// Fraction of *distinct* aggregated sessions dropped — the paper's
+    /// "40% with frequency ≤ 5".
+    pub fn dropped_unique_fraction(&self) -> f64 {
+        let total = self.kept_unique + self.dropped_unique;
+        if total == 0 {
+            return 0.0;
+        }
+        self.dropped_unique as f64 / total as f64
+    }
+}
+
+/// Drop aggregated sessions with frequency ≤ `threshold`.
+///
+/// Returns the reduced corpus and a report. `threshold = 0` keeps everything.
+pub fn reduce(agg: &Aggregated, threshold: u64) -> (Aggregated, ReductionReport) {
+    let mut kept = Vec::with_capacity(agg.sessions.len());
+    let mut report = ReductionReport {
+        kept_unique: 0,
+        dropped_unique: 0,
+        kept_mass: 0,
+        dropped_mass: 0,
+    };
+    for (seq, freq) in &agg.sessions {
+        if *freq > threshold {
+            report.kept_unique += 1;
+            report.kept_mass += freq;
+            kept.push((seq.clone(), *freq));
+        } else {
+            report.dropped_unique += 1;
+            report.dropped_mass += freq;
+        }
+    }
+    // Input was sorted; filtering preserves the order.
+    (Aggregated { sessions: kept }, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqp_common::seq;
+
+    fn corpus() -> Aggregated {
+        Aggregated::from_weighted(vec![
+            (seq(&[0, 1]), 10),
+            (seq(&[0, 2]), 6),
+            (seq(&[1, 2]), 5),
+            (seq(&[3]), 1),
+        ])
+    }
+
+    #[test]
+    fn drops_at_or_below_threshold() {
+        let (reduced, report) = reduce(&corpus(), 5);
+        assert_eq!(reduced.unique_sessions(), 2);
+        assert_eq!(report.kept_unique, 2);
+        assert_eq!(report.dropped_unique, 2);
+        assert_eq!(report.kept_mass, 16);
+        assert_eq!(report.dropped_mass, 6);
+        assert!((report.retention() - 16.0 / 22.0).abs() < 1e-12);
+        assert!((report.dropped_unique_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_zero_keeps_everything() {
+        let (reduced, report) = reduce(&corpus(), 0);
+        assert_eq!(reduced.unique_sessions(), 4);
+        assert_eq!(report.dropped_mass, 0);
+        assert_eq!(report.retention(), 1.0);
+    }
+
+    #[test]
+    fn threshold_above_max_drops_everything() {
+        let (reduced, report) = reduce(&corpus(), 100);
+        assert_eq!(reduced.unique_sessions(), 0);
+        assert_eq!(report.kept_mass, 0);
+        assert_eq!(report.retention(), 0.0);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let (reduced, report) = reduce(&Aggregated::default(), 5);
+        assert_eq!(reduced.unique_sessions(), 0);
+        assert_eq!(report.retention(), 1.0);
+        assert_eq!(report.dropped_unique_fraction(), 0.0);
+    }
+
+    #[test]
+    fn order_preserved_after_reduction() {
+        let (reduced, _) = reduce(&corpus(), 1);
+        let freqs: Vec<u64> = reduced.sessions.iter().map(|(_, f)| *f).collect();
+        assert_eq!(freqs, vec![10, 6, 5]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sqp_common::QueryId;
+
+    proptest! {
+        #[test]
+        fn mass_partition_and_monotonicity(
+            entries in proptest::collection::vec(
+                (proptest::collection::vec(0u32..8, 1..4), 1u64..20),
+                0..40,
+            ),
+            t1 in 0u64..10,
+            t2 in 0u64..10,
+        ) {
+            // Dedup sequences to form a valid aggregate.
+            let mut map = std::collections::HashMap::new();
+            for (s, f) in entries {
+                let key: sqp_common::QuerySeq =
+                    s.into_iter().map(QueryId).collect();
+                *map.entry(key).or_insert(0u64) += f;
+            }
+            let agg = Aggregated::from_weighted(map.into_iter().collect());
+            let total = agg.total_sessions();
+
+            let (ra, rep_a) = reduce(&agg, t1);
+            prop_assert_eq!(rep_a.kept_mass + rep_a.dropped_mass, total);
+            prop_assert_eq!(ra.total_sessions(), rep_a.kept_mass);
+
+            // Monotonicity: a higher threshold never keeps more mass.
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            let (_, rep_lo) = reduce(&agg, lo);
+            let (_, rep_hi) = reduce(&agg, hi);
+            prop_assert!(rep_hi.kept_mass <= rep_lo.kept_mass);
+            prop_assert!(rep_hi.kept_unique <= rep_lo.kept_unique);
+        }
+    }
+}

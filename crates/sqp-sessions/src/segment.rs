@@ -1,0 +1,246 @@
+//! Session segmentation — the paper's §V-A.2.
+//!
+//! *"Both machine IDs and timestamps were used as cues … we adopt the
+//! 30-minute rule convention by cutting at time-points where more than 30
+//! minutes have passed between an issued query and URL click."*
+//!
+//! Records are grouped per machine, ordered by time, and cut whenever the gap
+//! between a query and the previous record's **last activity** (query or
+//! final click) exceeds the cutoff.
+
+use sqp_common::FxHashMap;
+use sqp_logsim::RawLogRecord;
+
+/// The conventional 30-minute cutoff (White et al., Jansen et al.).
+pub const DEFAULT_CUTOFF_SECS: u64 = 30 * 60;
+
+/// A segmented session: consecutive queries of one machine within the cutoff.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TextSession {
+    /// Machine that issued the session.
+    pub machine_id: u64,
+    /// Timestamp of the first query.
+    pub start_time: u64,
+    /// Query texts in issue order.
+    pub queries: Vec<String>,
+}
+
+impl TextSession {
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the session holds no queries (never produced by [`segment`]).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// Segment raw records into sessions with the given cutoff.
+///
+/// Output is deterministic: sessions are ordered by machine id, then start
+/// time. Every record lands in exactly one session; order within a machine is
+/// preserved.
+pub fn segment(records: &[RawLogRecord], cutoff_secs: u64) -> Vec<TextSession> {
+    let mut by_machine: FxHashMap<u64, Vec<&RawLogRecord>> = FxHashMap::default();
+    for r in records {
+        by_machine.entry(r.machine_id).or_default().push(r);
+    }
+
+    let mut machines: Vec<u64> = by_machine.keys().copied().collect();
+    machines.sort_unstable();
+
+    let mut sessions = Vec::new();
+    for m in machines {
+        let mut recs = by_machine.remove(&m).unwrap();
+        recs.sort_by_key(|r| r.timestamp);
+
+        let mut current: Option<TextSession> = None;
+        let mut last_activity = 0u64;
+        for r in recs {
+            let split = match &current {
+                None => true,
+                Some(_) => r.timestamp.saturating_sub(last_activity) > cutoff_secs,
+            };
+            if split {
+                if let Some(s) = current.take() {
+                    sessions.push(s);
+                }
+                current = Some(TextSession {
+                    machine_id: m,
+                    start_time: r.timestamp,
+                    queries: Vec::new(),
+                });
+            }
+            current.as_mut().unwrap().queries.push(r.query.clone());
+            last_activity = last_activity.max(r.last_activity());
+        }
+        if let Some(s) = current.take() {
+            sessions.push(s);
+        }
+    }
+    sessions
+}
+
+/// Segment with the conventional 30-minute rule.
+pub fn segment_default(records: &[RawLogRecord]) -> Vec<TextSession> {
+    segment(records, DEFAULT_CUTOFF_SECS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqp_logsim::Click;
+
+    fn rec(machine: u64, ts: u64, q: &str) -> RawLogRecord {
+        RawLogRecord {
+            machine_id: machine,
+            timestamp: ts,
+            query: q.into(),
+            clicks: vec![],
+        }
+    }
+
+    #[test]
+    fn splits_on_large_gap() {
+        let records = vec![
+            rec(1, 0, "a"),
+            rec(1, 100, "b"),
+            rec(1, 100 + 30 * 60 + 1, "c"), // gap just over cutoff
+        ];
+        let sessions = segment_default(&records);
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].queries, vec!["a", "b"]);
+        assert_eq!(sessions[1].queries, vec!["c"]);
+    }
+
+    #[test]
+    fn gap_exactly_cutoff_does_not_split() {
+        // Paper: "more than 30 minutes" — a gap of exactly 30:00 stays.
+        let records = vec![rec(1, 0, "a"), rec(1, 30 * 60, "b")];
+        let sessions = segment_default(&records);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].queries, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn clicks_extend_the_session_window() {
+        // Query at t=0 with a click at t=25min; next query at t=50min.
+        // Gap from last activity (25min) is 25min < cutoff ⇒ same session.
+        let records = vec![
+            RawLogRecord {
+                machine_id: 1,
+                timestamp: 0,
+                query: "a".into(),
+                clicks: vec![Click {
+                    url: "u".into(),
+                    timestamp: 25 * 60,
+                }],
+            },
+            rec(1, 50 * 60, "b"),
+        ];
+        let sessions = segment_default(&records);
+        assert_eq!(sessions.len(), 1);
+
+        // Without the click the same pair splits.
+        let no_click = vec![rec(1, 0, "a"), rec(1, 50 * 60, "b")];
+        assert_eq!(segment_default(&no_click).len(), 2);
+    }
+
+    #[test]
+    fn machines_are_independent() {
+        let records = vec![
+            rec(2, 0, "m2-a"),
+            rec(1, 10, "m1-a"),
+            rec(2, 20, "m2-b"),
+            rec(1, 30, "m1-b"),
+        ];
+        let sessions = segment_default(&records);
+        assert_eq!(sessions.len(), 2);
+        // Deterministic machine order.
+        assert_eq!(sessions[0].machine_id, 1);
+        assert_eq!(sessions[0].queries, vec!["m1-a", "m1-b"]);
+        assert_eq!(sessions[1].queries, vec!["m2-a", "m2-b"]);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let records = vec![rec(1, 100, "b"), rec(1, 0, "a")];
+        let sessions = segment_default(&records);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].queries, vec!["a", "b"]);
+        assert_eq!(sessions[0].start_time, 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(segment_default(&[]).is_empty());
+    }
+
+    #[test]
+    fn every_record_in_exactly_one_session() {
+        let records: Vec<RawLogRecord> = (0..50)
+            .map(|i| rec(i % 3, i * 700, &format!("q{i}")))
+            .collect();
+        let sessions = segment_default(&records);
+        let total: usize = sessions.iter().map(|s| s.queries.len()).sum();
+        assert_eq!(total, records.len());
+    }
+
+    #[test]
+    fn custom_cutoff() {
+        let records = vec![rec(1, 0, "a"), rec(1, 100, "b")];
+        assert_eq!(segment(&records, 50).len(), 2);
+        assert_eq!(segment(&records, 150).len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn partition_invariants(
+            // (machine, gap to previous record of that machine)
+            steps in proptest::collection::vec((0u64..4, 0u64..4000), 1..80),
+            cutoff in 500u64..2500,
+        ) {
+            // Build per-machine monotone timelines.
+            let mut clocks = std::collections::HashMap::new();
+            let mut records = Vec::new();
+            for (i, (m, gap)) in steps.iter().enumerate() {
+                let t = clocks.entry(*m).or_insert(0u64);
+                *t += gap;
+                records.push(RawLogRecord {
+                    machine_id: *m,
+                    timestamp: *t,
+                    query: format!("q{i}"),
+                    clicks: vec![],
+                });
+            }
+            let sessions = segment(&records, cutoff);
+
+            // 1. Partition: total query count preserved.
+            let total: usize = sessions.iter().map(|s| s.queries.len()).sum();
+            prop_assert_eq!(total, records.len());
+
+            // 2. No session is empty and sessions are homogeneous by machine.
+            for s in &sessions {
+                prop_assert!(!s.queries.is_empty());
+            }
+
+            // 3. Within a machine, consecutive sessions are separated by more
+            //    than the cutoff and intra-session gaps are within it.
+            for m in 0u64..4 {
+                let mine: Vec<&TextSession> =
+                    sessions.iter().filter(|s| s.machine_id == m).collect();
+                for w in mine.windows(2) {
+                    prop_assert!(w[1].start_time > w[0].start_time);
+                }
+            }
+        }
+    }
+}

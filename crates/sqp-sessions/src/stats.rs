@@ -1,0 +1,79 @@
+//! Corpus statistics — Table IV, Figure 5, Figure 6, Figure 7.
+
+use crate::segment::TextSession;
+use sqp_common::{FxHashSet, Histogram};
+
+/// Summary statistics of a segmented corpus (the paper's Table IV).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusStats {
+    /// Number of sessions after segmentation.
+    pub n_sessions: u64,
+    /// Number of searches (total queries across sessions).
+    pub n_searches: u64,
+    /// Number of distinct query strings.
+    pub n_unique_queries: u64,
+    /// Session-length histogram (Figure 5).
+    pub length_histogram: Histogram,
+}
+
+/// Compute Table IV statistics over segmented sessions.
+pub fn corpus_stats(sessions: &[TextSession]) -> CorpusStats {
+    let mut unique: FxHashSet<&str> = FxHashSet::default();
+    let mut hist = Histogram::new();
+    let mut searches = 0u64;
+    for s in sessions {
+        hist.observe(s.queries.len() as u64);
+        searches += s.queries.len() as u64;
+        for q in &s.queries {
+            unique.insert(q.as_str());
+        }
+    }
+    CorpusStats {
+        n_sessions: sessions.len() as u64,
+        n_searches: searches,
+        n_unique_queries: unique.len() as u64,
+        length_histogram: hist,
+    }
+}
+
+impl CorpusStats {
+    /// Mean session length, the statistic the paper quotes as 2–3.
+    pub fn mean_session_length(&self) -> f64 {
+        self.length_histogram.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(queries: &[&str]) -> TextSession {
+        TextSession {
+            machine_id: 0,
+            start_time: 0,
+            queries: queries.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn counts_sessions_searches_uniques() {
+        let sessions = vec![ts(&["a", "b"]), ts(&["a"]), ts(&["c", "c", "d"])];
+        let st = corpus_stats(&sessions);
+        assert_eq!(st.n_sessions, 3);
+        assert_eq!(st.n_searches, 6);
+        assert_eq!(st.n_unique_queries, 4);
+        assert_eq!(st.length_histogram.count(1), 1);
+        assert_eq!(st.length_histogram.count(2), 1);
+        assert_eq!(st.length_histogram.count(3), 1);
+        assert!((st.mean_session_length() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let st = corpus_stats(&[]);
+        assert_eq!(st.n_sessions, 0);
+        assert_eq!(st.n_searches, 0);
+        assert_eq!(st.n_unique_queries, 0);
+        assert_eq!(st.mean_session_length(), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Using the library on *your own* search logs: parse Table III-style TSV
+//! records, run the pipeline, train a VMM, persist it to disk, reload it in
+//! a "serving process", and recommend — the full deployment loop of §V-F.2.
+//!
+//! ```sh
+//! cargo run --release --example custom_corpus
+//! ```
+
+use sqp::core::{Recommender, Vmm, VmmConfig};
+use sqp::logsim::record;
+use sqp::sessions::{aggregate, reduce, segment_default};
+use sqp_common::Interner;
+
+/// A tiny hand-written log in the paper's Table III format:
+/// machine \t timestamp \t query \t #clicks \t url,ts;…
+const RAW_LOG: &str = "\
+7\t100\tkidney stones\t1\twww.health.example/a,130
+7\t220\tkidney stone symptoms\t0\t
+7\t410\tkidney stone symptoms in women\t2\twww.health.example/b,450;www.health.example/c,520
+9\t100\tnokia n73\t0\t
+9\t230\tnokia n73 themes\t1\twww.phones.example/t,260
+9\t6000\tnokia n73\t0\t
+9\t6120\tnokia n73 themes\t0\t
+9\t9000\tnokia n73\t0\t
+9\t9100\tnokia n73 games\t0\t
+11\t100\tkidney stones\t0\t
+11\t260\tkidney stone symptoms\t0\t
+11\t88000\tmuzzle brake\t0\t
+";
+
+fn main() {
+    // 1. Parse raw logs (yours would come from a file).
+    let records = record::from_tsv(RAW_LOG).expect("well-formed TSV");
+    println!("parsed {} raw records", records.len());
+
+    // 2. Pipeline: 30-minute segmentation → aggregation → reduction.
+    let sessions = segment_default(&records);
+    println!("segmented into {} sessions:", sessions.len());
+    for s in &sessions {
+        println!("  machine {}: {}", s.machine_id, s.queries.join(" => "));
+    }
+    let mut interner = Interner::new();
+    let aggregated = aggregate(&sessions, &mut interner);
+    // Keep everything on a corpus this small (the threshold is for noise at
+    // scale).
+    let (reduced, _) = reduce(&aggregated, 0);
+
+    // 3. Train and persist (the nightly build).
+    let vmm = Vmm::train(&reduced.sessions, VmmConfig::with_epsilon(0.05));
+    let blob = vmm.to_bytes();
+    let path = std::env::temp_dir().join("sqp_custom_corpus.vmm");
+    std::fs::write(&path, &blob).expect("write model");
+    println!(
+        "\ntrained VMM: {} PST nodes, serialized to {} ({} bytes)",
+        vmm.node_count(),
+        path.display(),
+        blob.len()
+    );
+
+    // 4. Load in the "serving process" and recommend.
+    let served = Vmm::from_bytes(std::fs::read(&path).expect("read model").into())
+        .expect("valid model file");
+    let context = [
+        interner.get("kidney stones").unwrap(),
+        interner.get("kidney stone symptoms").unwrap(),
+    ];
+    println!("\nuser context: kidney stones => kidney stone symptoms");
+    println!("suggestions:");
+    for rec in served.recommend(&context, 3) {
+        println!(
+            "  {:<38} (P = {:.3})",
+            interner.resolve(rec.query),
+            rec.score
+        );
+    }
+
+    let context2 = [interner.get("nokia n73").unwrap()];
+    println!("\nuser context: nokia n73");
+    println!("suggestions:");
+    for rec in served.recommend(&context2, 3) {
+        println!(
+            "  {:<38} (P = {:.3})",
+            interner.resolve(rec.query),
+            rec.score
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}

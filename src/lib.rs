@@ -1,0 +1,24 @@
+//! # sqp — Sequential Query Prediction for Web Query Recommendation
+//!
+//! Umbrella crate re-exporting the whole workspace. See the README for the
+//! architecture overview and the `examples/` directory for runnable demos.
+//!
+//! The workspace reproduces He, Jiang, Liao, Hoi, Chang, Lim & Li,
+//! *Web Query Recommendation via Sequential Query Prediction*, ICDE 2009.
+
+pub mod service;
+
+pub use sqp_common as common;
+pub use sqp_core as core;
+pub use sqp_eval as eval;
+pub use sqp_logsim as logsim;
+pub use sqp_sessions as sessions;
+
+pub use service::{RecommenderService, ServiceConfig, ServiceModel, Suggestion};
+
+/// Convenient glob-import surface for applications and examples.
+pub mod prelude {
+    pub use crate::service::{RecommenderService, ServiceConfig, ServiceModel, Suggestion};
+    pub use sqp_common::{QueryId, QuerySeq};
+    pub use sqp_core::Recommender;
+}

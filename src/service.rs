@@ -1,0 +1,254 @@
+//! High-level recommendation service: strings in, strings out.
+//!
+//! The crates underneath operate on interned ids for speed; an application
+//! embedding query suggestion wants none of that. [`RecommenderService`]
+//! owns the interner and a trained model, and exposes the two calls a
+//! search front-end needs: build from raw logs, and suggest for a textual
+//! context.
+
+use sqp_core::{Mvmm, MvmmConfig, Recommender, Vmm, VmmConfig};
+use sqp_logsim::RawLogRecord;
+use sqp_sessions::{aggregate, reduce, segment, DEFAULT_CUTOFF_SECS};
+use sqp_common::{Interner, QueryId};
+
+/// Which model the service trains.
+#[derive(Clone, Debug)]
+pub enum ServiceModel {
+    /// The paper's MVMM (default: the 11-component ε sweep).
+    Mvmm(MvmmConfig),
+    /// A single VMM.
+    Vmm(VmmConfig),
+    /// The Adjacency baseline (smallest footprint).
+    Adjacency,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        ServiceModel::Mvmm(MvmmConfig::epsilon_sweep())
+    }
+}
+
+/// Service construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Session cutoff for the 30-minute rule, in seconds.
+    pub session_cutoff_secs: u64,
+    /// Drop aggregated sessions with frequency ≤ this.
+    pub reduction_threshold: u64,
+    /// The model to train.
+    pub model: ServiceModel,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            session_cutoff_secs: DEFAULT_CUTOFF_SECS,
+            reduction_threshold: 0,
+            model: ServiceModel::default(),
+        }
+    }
+}
+
+/// A ranked suggestion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Suggestion {
+    /// Suggested query text.
+    pub query: String,
+    /// Model score (higher is better).
+    pub score: f64,
+}
+
+/// A trained, self-contained query-suggestion service.
+pub struct RecommenderService {
+    interner: Interner,
+    model: Box<dyn Recommender>,
+    trained_sessions: u64,
+}
+
+impl RecommenderService {
+    /// Build from raw click-log records: sessionize, aggregate, reduce,
+    /// train.
+    pub fn from_raw_logs(records: &[RawLogRecord], cfg: &ServiceConfig) -> Self {
+        let sessions = segment(records, cfg.session_cutoff_secs);
+        let mut interner = Interner::new();
+        let aggregated = aggregate(&sessions, &mut interner);
+        let (reduced, _) = reduce(&aggregated, cfg.reduction_threshold);
+        let trained_sessions = reduced.total_sessions();
+        let model: Box<dyn Recommender> = match &cfg.model {
+            ServiceModel::Mvmm(c) => Box::new(Mvmm::train(&reduced.sessions, c)),
+            ServiceModel::Vmm(c) => Box::new(Vmm::train(&reduced.sessions, *c)),
+            ServiceModel::Adjacency => {
+                Box::new(sqp_core::Adjacency::train(&reduced.sessions))
+            }
+        };
+        RecommenderService {
+            interner,
+            model,
+            trained_sessions,
+        }
+    }
+
+    /// Resolve a textual context to ids; unknown queries stay in the context
+    /// as placeholders only if they are not the final query (suffix-matching
+    /// models skip an unknown prefix; an unknown *current* query means no
+    /// evidence at all).
+    fn resolve_context(&self, context: &[&str]) -> Option<Vec<QueryId>> {
+        if context.is_empty() {
+            return None;
+        }
+        // The final query must be known.
+        self.interner.get(context[context.len() - 1])?;
+        let ids: Vec<QueryId> = context
+            .iter()
+            .filter_map(|q| self.interner.get(q))
+            .collect();
+        Some(ids)
+    }
+
+    /// Top-`k` suggestions for the session so far (oldest query first).
+    /// Empty when the context is uncovered.
+    pub fn suggest(&self, context: &[&str], k: usize) -> Vec<Suggestion> {
+        let Some(ids) = self.resolve_context(context) else {
+            return Vec::new();
+        };
+        self.model
+            .recommend(&ids, k)
+            .into_iter()
+            .map(|s| Suggestion {
+                query: self.interner.resolve(s.query).to_owned(),
+                score: s.score,
+            })
+            .collect()
+    }
+
+    /// Can the service say anything for this context?
+    pub fn covers(&self, context: &[&str]) -> bool {
+        self.resolve_context(context)
+            .is_some_and(|ids| self.model.covers(&ids))
+    }
+
+    /// Name of the underlying model.
+    pub fn model_name(&self) -> &str {
+        self.model.name()
+    }
+
+    /// Session mass the model was trained on.
+    pub fn trained_sessions(&self) -> u64 {
+        self.trained_sessions
+    }
+
+    /// Distinct queries known to the service.
+    pub fn vocabulary_size(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Approximate model heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.model.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(machine: u64, ts: u64, q: &str) -> RawLogRecord {
+        RawLogRecord {
+            machine_id: machine,
+            timestamp: ts,
+            query: q.into(),
+            clicks: vec![],
+        }
+    }
+
+    fn sample_records() -> Vec<RawLogRecord> {
+        let mut records = Vec::new();
+        // Ten users all refine "kidney stones" the same way.
+        for u in 0..10 {
+            records.push(rec(u, 100, "kidney stones"));
+            records.push(rec(u, 200, "kidney stone symptoms"));
+        }
+        // Three of them go deeper.
+        for u in 0..3 {
+            records.push(rec(u + 100, 100, "kidney stones"));
+            records.push(rec(u + 100, 260, "kidney stone symptoms"));
+            records.push(rec(u + 100, 420, "kidney stone symptoms in women"));
+        }
+        records.push(rec(999, 50, "muzzle brake"));
+        records
+    }
+
+    fn service(model: ServiceModel) -> RecommenderService {
+        RecommenderService::from_raw_logs(
+            &sample_records(),
+            &ServiceConfig {
+                model,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn suggests_the_common_refinement() {
+        for model in [
+            ServiceModel::Adjacency,
+            ServiceModel::Vmm(VmmConfig::with_epsilon(0.05)),
+            ServiceModel::Mvmm(MvmmConfig::small()),
+        ] {
+            let svc = service(model);
+            let suggestions = svc.suggest(&["kidney stones"], 3);
+            assert!(!suggestions.is_empty(), "{}", svc.model_name());
+            assert_eq!(suggestions[0].query, "kidney stone symptoms");
+            assert!(suggestions[0].score > 0.0);
+        }
+    }
+
+    #[test]
+    fn context_deepens_the_suggestion() {
+        let svc = service(ServiceModel::Vmm(VmmConfig::with_epsilon(0.0)));
+        let suggestions =
+            svc.suggest(&["kidney stones", "kidney stone symptoms"], 3);
+        assert_eq!(suggestions[0].query, "kidney stone symptoms in women");
+    }
+
+    #[test]
+    fn unknown_current_query_is_uncovered() {
+        let svc = service(ServiceModel::Adjacency);
+        assert!(svc.suggest(&["never seen before"], 5).is_empty());
+        assert!(!svc.covers(&["never seen before"]));
+        assert!(svc.suggest(&[], 5).is_empty());
+        // Unknown *prefix* is fine.
+        assert!(svc.covers(&["never seen before", "kidney stones"]));
+    }
+
+    #[test]
+    fn terminal_queries_are_uncovered_for_ordered_models() {
+        let svc = service(ServiceModel::Adjacency);
+        // "muzzle brake" only appears as a singleton session.
+        assert!(!svc.covers(&["muzzle brake"]));
+    }
+
+    #[test]
+    fn service_metadata() {
+        let svc = service(ServiceModel::Vmm(VmmConfig::with_epsilon(0.05)));
+        assert_eq!(svc.model_name(), "VMM (0.05)");
+        assert_eq!(svc.vocabulary_size(), 4);
+        assert_eq!(svc.trained_sessions(), 14);
+        assert!(svc.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn reduction_threshold_filters_rare_sessions() {
+        let svc = RecommenderService::from_raw_logs(
+            &sample_records(),
+            &ServiceConfig {
+                reduction_threshold: 5,
+                model: ServiceModel::Adjacency,
+                ..ServiceConfig::default()
+            },
+        );
+        // Only the 10x session survives; the deep refinement is gone.
+        assert!(svc.covers(&["kidney stones"]));
+        assert!(!svc.covers(&["kidney stone symptoms"]));
+    }
+}

@@ -1,0 +1,149 @@
+//! Integration test: behavioural contracts every recommender must satisfy,
+//! checked uniformly across the five methods through the trait object API.
+
+use sqp::eval::{quick_lineup, train_models};
+use sqp::logsim::SimConfig;
+use sqp::sessions::{process, PipelineConfig};
+use sqp_common::{QueryId, QuerySeq};
+
+fn corpus() -> (Vec<(QuerySeq, u64)>, Vec<QuerySeq>) {
+    let logs = sqp::logsim::generate(&SimConfig::small(8_000, 2_000, 5));
+    let processed = process(&logs, &PipelineConfig::default());
+    let contexts: Vec<QuerySeq> = processed
+        .ground_truth
+        .entries
+        .iter()
+        .take(300)
+        .map(|e| e.context.clone())
+        .collect();
+    (processed.train.aggregated.sessions.clone(), contexts)
+}
+
+#[test]
+fn recommendations_respect_k_and_ordering() {
+    let (sessions, contexts) = corpus();
+    for (label, model) in train_models(&quick_lineup(), &sessions) {
+        for ctx in &contexts {
+            for k in [0usize, 1, 3, 5, 10] {
+                let recs = model.recommend(ctx, k);
+                assert!(recs.len() <= k, "{label}: len {} > k {k}", recs.len());
+                for w in recs.windows(2) {
+                    assert!(
+                        w[0].score >= w[1].score,
+                        "{label}: scores not descending"
+                    );
+                }
+                // No duplicate queries in one list.
+                let mut seen = std::collections::HashSet::new();
+                for r in &recs {
+                    assert!(seen.insert(r.query), "{label}: duplicate {:?}", r.query);
+                }
+                // Scores are positive, finite model evidence.
+                for r in &recs {
+                    assert!(r.score.is_finite() && r.score > 0.0, "{label}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn covers_agrees_with_recommend() {
+    let (sessions, contexts) = corpus();
+    for (label, model) in train_models(&quick_lineup(), &sessions) {
+        for ctx in &contexts {
+            let has_recs = !model.recommend(ctx, 1).is_empty();
+            assert_eq!(
+                model.covers(ctx),
+                has_recs,
+                "{label}: covers() disagrees with recommend() on {ctx:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn retraining_is_deterministic() {
+    let (sessions, contexts) = corpus();
+    let first = train_models(&quick_lineup(), &sessions);
+    let second = train_models(&quick_lineup(), &sessions);
+    for ((label, a), (_, b)) in first.iter().zip(&second) {
+        for ctx in contexts.iter().take(100) {
+            let ra = a.recommend(ctx, 5);
+            let rb = b.recommend(ctx, 5);
+            assert_eq!(ra.len(), rb.len(), "{label}");
+            for (x, y) in ra.iter().zip(&rb) {
+                assert_eq!(x.query, y.query, "{label}");
+                assert!((x.score - y.score).abs() < 1e-12, "{label}");
+            }
+        }
+        assert_eq!(a.memory_bytes(), b.memory_bytes(), "{label}: memory differs");
+    }
+}
+
+#[test]
+fn empty_and_unknown_contexts() {
+    let (sessions, _) = corpus();
+    // An id far outside the interned range.
+    let unknown = QueryId(u32::MAX - 1);
+    for (label, model) in train_models(&quick_lineup(), &sessions) {
+        assert!(
+            model.recommend(&[], 5).is_empty(),
+            "{label}: empty context must be uncovered"
+        );
+        assert!(
+            model.recommend(&[unknown], 5).is_empty(),
+            "{label}: unknown query must be uncovered"
+        );
+        assert!(!model.covers(&[unknown]), "{label}");
+    }
+}
+
+#[test]
+fn long_contexts_do_not_panic_and_stay_consistent() {
+    let (sessions, contexts) = corpus();
+    let models = train_models(&quick_lineup(), &sessions);
+    // Build a very long context by chaining real queries.
+    let mut long: Vec<QueryId> = Vec::new();
+    for ctx in contexts.iter().take(8) {
+        long.extend(ctx.iter().copied());
+    }
+    for (label, model) in &models {
+        let recs = model.recommend(&long, 5);
+        assert!(recs.len() <= 5, "{label}");
+        // Suffix-matching models must behave identically when the context is
+        // extended with an *unknown prefix* (only the usable suffix counts).
+        if label.starts_with("VMM") || label == "MVMM" || label == "Adj." || label == "Co-occ." {
+            let mut prefixed = vec![QueryId(u32::MAX - 2)];
+            prefixed.extend_from_slice(&long);
+            let recs2 = model.recommend(&prefixed, 5);
+            let ids: Vec<QueryId> = recs.iter().map(|r| r.query).collect();
+            let ids2: Vec<QueryId> = recs2.iter().map(|r| r.query).collect();
+            assert_eq!(ids, ids2, "{label}: unknown prefix changed the ranking");
+        }
+    }
+}
+
+#[test]
+fn memory_accounting_is_positive_and_stable() {
+    let (sessions, _) = corpus();
+    for (label, model) in train_models(&quick_lineup(), &sessions) {
+        let m1 = model.memory_bytes();
+        let m2 = model.memory_bytes();
+        assert!(m1 > 0, "{label}: zero memory estimate");
+        assert_eq!(m1, m2, "{label}: memory estimate not stable");
+    }
+}
+
+#[test]
+fn names_are_stable_api() {
+    let (sessions, _) = corpus();
+    let labels: Vec<String> = train_models(&quick_lineup(), &sessions)
+        .iter()
+        .map(|(_, m)| m.name().to_owned())
+        .collect();
+    assert_eq!(
+        labels,
+        vec!["Adj.", "Co-occ.", "N-gram", "VMM (0.05)", "MVMM"]
+    );
+}
