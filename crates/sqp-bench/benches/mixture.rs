@@ -1,7 +1,7 @@
 //! MVMM mixture machinery: the Newton σ-fit (Eq. 7–10) and full mixture
 //! training with parallel vs serial component training (§V-G).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqp_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqp_core::{fit_mixture_sigmas, FitConfig, Mvmm, MvmmConfig};
 use std::hint::black_box;
 

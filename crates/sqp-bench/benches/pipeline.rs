@@ -1,7 +1,7 @@
 //! Log-pipeline throughput: segmentation (30-minute rule), aggregation and
 //! reduction over raw click records (§V-A), plus the record codecs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqp_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqp_common::Interner;
 use sqp_sessions::{aggregate, reduce, segment_default};
 use std::hint::black_box;

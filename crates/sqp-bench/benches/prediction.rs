@@ -2,7 +2,7 @@
 //! §V-G claim: prediction is O(D), constant-ish in corpus size and fast
 //! enough for real-time deployment.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqp_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqp_core::{Adjacency, Mvmm, MvmmConfig, NGram, Recommender, Vmm, VmmConfig};
 use std::hint::black_box;
 

@@ -1,7 +1,7 @@
 //! PST internals: window counting, tree construction, longest-suffix lookup,
 //! and the escape recursion — the O(|Q*|·Dn²) / O(D) bounds of §IV-B.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqp_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqp_core::counts::WindowCounts;
 use sqp_core::{Vmm, VmmConfig};
 use std::hint::black_box;

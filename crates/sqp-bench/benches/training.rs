@@ -1,7 +1,7 @@
 //! Training throughput per model at two corpus sizes — the criterion
 //! counterpart of the paper's Figure 12 (training time scales linearly).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqp_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqp_core::{Adjacency, Cooccurrence, Mvmm, MvmmConfig, NGram, Vmm, VmmConfig};
 use std::hint::black_box;
 

@@ -1,0 +1,275 @@
+//! A dependency-free timing harness with a criterion-shaped API.
+//!
+//! The workspace builds hermetically (no crates.io), so the benchmark files
+//! use this instead of criterion: same `benchmark_group` / `bench_function` /
+//! `bench_with_input` surface, `criterion_group!`/`criterion_main!` macros,
+//! adaptive iteration counts, and a median-of-samples report. Results print
+//! as one aligned line per benchmark and can be exported as JSON (see
+//! `src/bin/bench_pr1.rs`).
+
+use std::time::Instant;
+
+/// One benchmark's measurements (per-iteration nanoseconds).
+#[derive(Clone, Debug)]
+pub struct Stats {
+    /// Fully-qualified benchmark id (`group/name/param`).
+    pub id: String,
+    /// Median ns per iteration across samples.
+    pub median_ns: f64,
+    /// Mean ns per iteration across samples.
+    pub mean_ns: f64,
+    /// Fastest sample's ns per iteration.
+    pub min_ns: f64,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Target wall-clock per sample.
+const SAMPLE_TARGET_NS: u64 = 40_000_000;
+/// Ceiling on a single benchmark's total measurement time.
+const BENCH_BUDGET_NS: u64 = 3_000_000_000;
+
+/// Measure `f`, choosing an iteration count so each sample runs about
+/// [`SAMPLE_TARGET_NS`], bounded by an overall budget.
+pub fn measure<F: FnMut()>(id: &str, samples: usize, mut f: F) -> Stats {
+    // Warmup + calibration.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_nanos().max(1) as u64;
+    let iters = (SAMPLE_TARGET_NS / once).clamp(1, 1_000_000);
+    let est_sample = once * iters;
+    let samples = samples
+        .min(((BENCH_BUDGET_NS / est_sample.max(1)) as usize).max(2))
+        .max(2);
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    Stats {
+        id: id.to_owned(),
+        median_ns: median,
+        mean_ns: mean,
+        min_ns: per_iter[0],
+        iters,
+        samples,
+    }
+}
+
+/// Root harness object; collects results across groups.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Stats>,
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: 10,
+        }
+    }
+
+    /// All collected results.
+    pub fn results(&self) -> &[Stats] {
+        &self.results
+    }
+
+    /// Print the aligned report.
+    pub fn report(&self) {
+        let width = self.results.iter().map(|s| s.id.len()).max().unwrap_or(0);
+        println!(
+            "{:width$}  {:>14}  {:>14}  {:>14}",
+            "benchmark", "median", "mean", "min"
+        );
+        for s in &self.results {
+            println!(
+                "{:width$}  {:>14}  {:>14}  {:>14}   ({} iters × {} samples)",
+                s.id,
+                format_ns(s.median_ns),
+                format_ns(s.mean_ns),
+                format_ns(s.min_ns),
+                s.iters,
+                s.samples,
+            );
+        }
+    }
+}
+
+/// Human-readable duration.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A benchmark group (criterion-compatible subset).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IdLike, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.render());
+        let mut bencher = Bencher {
+            id: full,
+            samples: self.sample_size,
+            stats: None,
+        };
+        f(&mut bencher);
+        if let Some(stats) = bencher.stats {
+            self.criterion.results.push(stats);
+        }
+    }
+
+    /// Benchmark a closure that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group (kept for criterion compatibility; a no-op).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifiers: `"name"` or `BenchmarkId::new("name", param)`.
+pub trait IdLike {
+    /// Render to the `name[/param]` form.
+    fn render(&self) -> String;
+}
+
+impl IdLike for &str {
+    fn render(&self) -> String {
+        (*self).to_owned()
+    }
+}
+
+/// A `name/param` benchmark id.
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Construct from a name and a displayable parameter.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl IdLike for BenchmarkId {
+    fn render(&self) -> String {
+        format!("{}/{}", self.name, self.param)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the measured body.
+pub struct Bencher {
+    id: String,
+    samples: usize,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Measure one closure (the last `iter` call in a benchmark wins).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let stats = measure(&self.id, self.samples, || {
+            std::hint::black_box(f());
+        });
+        self.stats = Some(stats);
+    }
+}
+
+/// criterion-compatible group declaration.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// criterion-compatible entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_sane_numbers() {
+        let mut x = 0u64;
+        let s = measure("t", 3, || {
+            x = x.wrapping_add(1);
+        });
+        assert!(s.median_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.iters >= 1);
+        assert!(s.samples >= 2);
+    }
+
+    #[test]
+    fn group_collects_results() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("a", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("b", 7), &7, |b, &x| b.iter(|| x * 2));
+            g.finish();
+        }
+        let ids: Vec<&str> = c.results().iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids, vec!["g/a", "g/b/7"]);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(1_500.0), "1.50 µs");
+        assert_eq!(format_ns(2_500_000.0), "2.50 ms");
+    }
+}

@@ -1,8 +1,15 @@
-//! Shared fixtures for the criterion benchmarks.
+//! Shared fixtures and the timing harness for the benchmarks.
 //!
 //! Benchmarks need identical, deterministic datasets across runs so that
-//! criterion's statistics compare like against like; this crate builds them
-//! once per process.
+//! the harness statistics compare like against like; this crate builds them
+//! once per process. The [`harness`] module replaces criterion (the
+//! workspace builds with no external crates); [`baseline`] preserves the
+//! pre-arena hashmap counter for equivalence tests and speedup accounting.
+
+pub mod baseline;
+pub mod harness;
+
+pub use harness::{BenchmarkId, Criterion};
 
 use sqp_common::QuerySeq;
 use sqp_sessions::pipeline::{PipelineConfig, ProcessedLogs};
@@ -22,6 +29,20 @@ pub fn bench_sessions(n_sessions: usize, seed: u64) -> Vec<(QuerySeq, u64)> {
         .aggregated
         .sessions
         .clone()
+}
+
+/// Exactly `n_sessions` segmented, interned sessions with unit weight — the
+/// pre-aggregation counting workload (aggregation collapses the simulated
+/// corpus by ~10×, which makes micro-benchmarks noise-dominated).
+pub fn bench_unaggregated_sessions(n_sessions: usize, seed: u64) -> Vec<(QuerySeq, u64)> {
+    let sim = sqp_logsim::SimConfig::small(n_sessions, 10, seed);
+    let logs = sqp_logsim::generate(&sim);
+    let sessions = sqp_sessions::segment_default(&logs.train);
+    let mut interner = sqp_common::Interner::new();
+    sessions
+        .iter()
+        .map(|s| (interner.intern_session(&s.queries), 1))
+        .collect()
 }
 
 /// Raw log records for pipeline benchmarks.

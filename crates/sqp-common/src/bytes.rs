@@ -1,0 +1,252 @@
+//! Little-endian byte buffers for the wire codecs.
+//!
+//! A minimal, dependency-free stand-in for the `bytes` crate: [`BytesMut`] is
+//! an append-only writer, [`Bytes`] a cheaply cloneable read cursor over
+//! shared immutable storage. Only the little-endian accessors the log and
+//! model codecs use are provided. Readers never panic on short input — every
+//! accessor is paired with [`Bytes::remaining`] checks at the call sites, and
+//! misuse panics loudly rather than reading garbage.
+
+use std::sync::Arc;
+
+/// Shared immutable byte storage with a read cursor.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Wrap a static slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Unread bytes left.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Total unread length (alias of [`Bytes::remaining`], `bytes`-style).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.remaining()
+    }
+
+    /// True when fully consumed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The unread bytes as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copy the unread bytes out.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// A sub-view of the unread bytes (shares storage).
+    ///
+    /// # Panics
+    /// Panics when the range exceeds [`Bytes::remaining`].
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.remaining());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    #[inline]
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.remaining(), "read past end of buffer");
+        let s = &self.data[self.start..self.start + n];
+        self.start += n;
+        s
+    }
+
+    /// Read a little-endian `u32`.
+    #[inline]
+    pub fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Read a little-endian `u64`.
+    #[inline]
+    pub fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Read a little-endian `f64`.
+    #[inline]
+    pub fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Copy exactly `dst.len()` bytes out.
+    #[inline]
+    pub fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(self.take(dst.len()));
+    }
+
+    /// Split off the next `n` bytes as a shared view.
+    pub fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        let out = self.slice(0..n);
+        self.start += n;
+        out
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.remaining())
+    }
+}
+
+/// Append-only byte writer.
+#[derive(Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Writer with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append a byte.
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    #[inline]
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    #[inline]
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    #[inline]
+    pub fn put_f64_le(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append raw bytes.
+    #[inline]
+    pub fn put_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Finish writing, producing shareable storage.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u32_le(7);
+        w.put_u64_le(u64::MAX - 1);
+        w.put_f64_le(0.25);
+        w.put_slice(b"abc");
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 4 + 8 + 8 + 3);
+        assert_eq!(r.get_u32_le(), 7);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_f64_le(), 0.25);
+        let mut buf = [0u8; 3];
+        r.copy_to_slice(&mut buf);
+        assert_eq!(&buf, b"abc");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn slicing_shares_storage() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_slice(), &[2, 3, 4]);
+        assert_eq!(b.remaining(), 5); // original untouched
+    }
+
+    #[test]
+    fn copy_to_bytes_advances() {
+        let mut b = Bytes::from(vec![9, 8, 7, 6]);
+        let head = b.copy_to_bytes(2);
+        assert_eq!(head.as_slice(), &[9, 8]);
+        assert_eq!(b.as_slice(), &[7, 6]);
+    }
+
+    #[test]
+    fn equality_ignores_cursor_origin() {
+        let a = Bytes::from(vec![0, 1, 2]);
+        let b = Bytes::from(vec![9, 0, 1, 2]).slice(1..4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn overread_panics() {
+        let mut b = Bytes::from(vec![1, 2]);
+        let _ = b.get_u32_le();
+    }
+}

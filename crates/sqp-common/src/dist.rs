@@ -111,60 +111,76 @@ mod tests {
 }
 
 #[cfg(test)]
-mod prop_tests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::{Rng, StdRng};
 
-    proptest! {
-        #[test]
-        fn identity(a in "[a-c]{0,12}") {
-            prop_assert_eq!(levenshtein_str(&a, &a), 0);
-        }
+    fn rand_str(rng: &mut StdRng, alphabet: u8, max_len: usize) -> String {
+        let len = rng.random_range(0usize..=max_len);
+        (0..len)
+            .map(|_| (b'a' + rng.random_range(0..alphabet)) as char)
+            .collect()
+    }
 
-        #[test]
-        fn symmetry(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
-            prop_assert_eq!(levenshtein_str(&a, &b), levenshtein_str(&b, &a));
-        }
-
-        #[test]
-        fn upper_and_lower_bounds(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
-            let d = levenshtein_str(&a, &b);
-            let (la, lb) = (a.chars().count(), b.chars().count());
-            prop_assert!(d <= la.max(lb));
-            prop_assert!(d >= la.abs_diff(lb));
-            prop_assert_eq!(d == 0, a == b);
-        }
-
-        #[test]
-        fn triangle_inequality(
-            a in "[a-b]{0,8}", b in "[a-b]{0,8}", c in "[a-b]{0,8}"
-        ) {
+    #[test]
+    fn metric_axioms_hold() {
+        for case in 0..256u64 {
+            let mut rng = StdRng::seed_from_u64(case);
+            let a = rand_str(&mut rng, 3, 12);
+            let b = rand_str(&mut rng, 3, 12);
+            let c = rand_str(&mut rng, 3, 12);
+            // Identity and symmetry.
+            assert_eq!(levenshtein_str(&a, &a), 0, "case {case}");
             let ab = levenshtein_str(&a, &b);
+            assert_eq!(ab, levenshtein_str(&b, &a), "case {case}");
+            // Bounds.
+            let (la, lb) = (a.chars().count(), b.chars().count());
+            assert!(ab <= la.max(lb), "case {case}");
+            assert!(ab >= la.abs_diff(lb), "case {case}");
+            assert_eq!(ab == 0, a == b, "case {case}");
+            // Triangle inequality.
             let bc = levenshtein_str(&b, &c);
             let ac = levenshtein_str(&a, &c);
-            prop_assert!(ac <= ab + bc);
+            assert!(ac <= ab + bc, "case {case}: {a:?} {b:?} {c:?}");
         }
+    }
 
-        #[test]
-        fn single_edit_is_distance_one(a in "[a-z]{1,10}", idx in 0usize..10) {
+    #[test]
+    fn single_edit_is_distance_one() {
+        for case in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(500 + case);
+            let a = {
+                let mut s = rand_str(&mut rng, 26, 9);
+                s.push('m'); // guarantee non-empty
+                s
+            };
             let chars: Vec<char> = a.chars().collect();
-            let i = idx % chars.len();
+            let i = rng.random_range(0usize..chars.len());
             let mut edited = chars.clone();
             edited[i] = if edited[i] == 'z' { 'a' } else { 'z' };
             let edited: String = edited.into_iter().collect();
-            prop_assert_eq!(levenshtein_str(&a, &edited), 1);
+            assert_eq!(levenshtein_str(&a, &edited), 1, "case {case}");
         }
+    }
 
-        #[test]
-        fn id_slices_match_char_encoding(
-            a in proptest::collection::vec(0u32..4, 0..10),
-            b in proptest::collection::vec(0u32..4, 0..10),
-        ) {
-            // Encode ids as distinct chars and compare implementations.
-            let enc = |v: &[u32]| -> String {
-                v.iter().map(|&x| (b'a' + x as u8) as char).collect()
+    #[test]
+    fn id_slices_match_char_encoding() {
+        for case in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(900 + case);
+            let gen_ids = |rng: &mut StdRng| -> Vec<u32> {
+                let len = rng.random_range(0usize..10);
+                (0..len).map(|_| rng.random_range(0u32..4)).collect()
             };
-            prop_assert_eq!(levenshtein(&a, &b), levenshtein_str(&enc(&a), &enc(&b)));
+            let a = gen_ids(&mut rng);
+            let b = gen_ids(&mut rng);
+            // Encode ids as distinct chars and compare implementations.
+            let enc =
+                |v: &[u32]| -> String { v.iter().map(|&x| (b'a' + x as u8) as char).collect() };
+            assert_eq!(
+                levenshtein(&a, &b),
+                levenshtein_str(&enc(&a), &enc(&b)),
+                "case {case}"
+            );
         }
     }
 }

@@ -3,52 +3,113 @@
 //! The paper's corpus has ~1.1B unique queries; ours is smaller but the same
 //! principle applies: every query string is stored exactly once and all
 //! downstream structures hold dense 4-byte [`QueryId`]s. The interner is the
-//! single owner of query text.
+//! single owner of query text — the lookup index holds only `QueryId`s
+//! hashed through the string table, so each query costs its UTF-8 bytes plus
+//! a few words of bookkeeping, not two copies of the text.
 
-use crate::hash::FxHashMap;
+use crate::hash::fx_hash_one;
 use crate::QueryId;
-use parking_lot::RwLock;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
+
+const EMPTY_SLOT: u32 = u32::MAX;
 
 /// Bijective map between query strings and [`QueryId`]s.
 ///
 /// Ids are assigned densely in first-seen order, so `resolve` is an O(1)
 /// vector index and parallel arrays indexed by `QueryId::index()` are cheap.
-#[derive(Default, Debug)]
+/// The reverse index is an open-addressing table of ids probed by string
+/// hash; strings themselves live only in the id-ordered table.
+#[derive(Debug)]
 pub struct Interner {
-    map: FxHashMap<Box<str>, QueryId>,
     strings: Vec<Box<str>>,
+    /// Open-addressing slots holding ids (EMPTY_SLOT = vacant). Capacity is
+    /// a power of two; load factor is kept under ~0.75.
+    slots: Vec<u32>,
+    /// Total bytes of interned string content.
+    string_bytes: usize,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Interner {
     /// Create an empty interner.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            strings: Vec::new(),
+            slots: vec![EMPTY_SLOT; 16],
+            string_bytes: 0,
+        }
     }
 
     /// Create an interner sized for roughly `capacity` distinct queries.
     pub fn with_capacity(capacity: usize) -> Self {
+        let slots = (capacity * 2).next_power_of_two().max(16);
         Self {
-            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
             strings: Vec::with_capacity(capacity),
+            slots: vec![EMPTY_SLOT; slots],
+            string_bytes: 0,
         }
+    }
+
+    #[inline]
+    fn probe_start(&self, query: &str) -> usize {
+        fx_hash_one(&query.as_bytes()) as usize & (self.slots.len() - 1)
+    }
+
+    /// Slot index holding `query`'s id, or the vacant slot where it belongs.
+    #[inline]
+    fn find_slot(&self, query: &str) -> usize {
+        let mask = self.slots.len() - 1;
+        let mut i = self.probe_start(query);
+        loop {
+            let id = self.slots[i];
+            if id == EMPTY_SLOT || self.strings[id as usize].as_ref() == query {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let mask = new_len - 1;
+        let mut slots = vec![EMPTY_SLOT; new_len];
+        for (id, s) in self.strings.iter().enumerate() {
+            let mut i = fx_hash_one(&s.as_bytes()) as usize & mask;
+            while slots[i] != EMPTY_SLOT {
+                i = (i + 1) & mask;
+            }
+            slots[i] = id as u32;
+        }
+        self.slots = slots;
     }
 
     /// Intern `query`, returning its id (existing or freshly assigned).
     pub fn intern(&mut self, query: &str) -> QueryId {
-        if let Some(&id) = self.map.get(query) {
-            return id;
+        let mut slot = self.find_slot(query);
+        if self.slots[slot] != EMPTY_SLOT {
+            return QueryId(self.slots[slot]);
         }
-        let id = QueryId(u32::try_from(self.strings.len()).expect("more than u32::MAX queries"));
-        let boxed: Box<str> = query.into();
-        self.strings.push(boxed.clone());
-        self.map.insert(boxed, id);
-        id
+        if (self.strings.len() + 1) * 4 >= self.slots.len() * 3 {
+            self.grow();
+            // Growth moved every slot; the pre-grow probe is stale.
+            slot = self.find_slot(query);
+        }
+        let id = u32::try_from(self.strings.len()).expect("more than u32::MAX queries");
+        self.string_bytes += query.len();
+        self.strings.push(query.into());
+        self.slots[slot] = id;
+        QueryId(id)
     }
 
     /// Look up an id without interning. Returns `None` for unseen queries.
     pub fn get(&self, query: &str) -> Option<QueryId> {
-        self.map.get(query).copied()
+        let id = self.slots[self.find_slot(query)];
+        (id != EMPTY_SLOT).then_some(QueryId(id))
     }
 
     /// Resolve an id back to its string.
@@ -72,6 +133,11 @@ impl Interner {
     /// True when no query has been interned.
     pub fn is_empty(&self) -> bool {
         self.strings.is_empty()
+    }
+
+    /// Bytes of query text resident (each string stored exactly once).
+    pub fn bytes_resident(&self) -> usize {
+        self.string_bytes
     }
 
     /// Iterate `(id, string)` pairs in id order.
@@ -98,17 +164,10 @@ impl Interner {
 
 impl crate::mem::HeapSize for Interner {
     fn heap_size_bytes(&self) -> usize {
-        let strings: usize = self
-            .strings
-            .iter()
-            .map(|s| s.len() + std::mem::size_of::<Box<str>>())
-            .sum();
-        // Map keys share content size with `strings` clones; count them too,
-        // plus per-entry table overhead.
-        let map_entries = self.map.len()
-            * (std::mem::size_of::<Box<str>>() + std::mem::size_of::<QueryId>() + 8);
-        let map_content: usize = self.map.keys().map(|k| k.len()).sum();
-        strings + map_entries + map_content + self.strings.capacity() * std::mem::size_of::<Box<str>>()
+        // One copy of every string + the Box headers + the id table.
+        self.string_bytes
+            + self.strings.capacity() * std::mem::size_of::<Box<str>>()
+            + self.slots.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -133,32 +192,45 @@ impl SharedInterner {
 
     /// Intern with a write lock.
     pub fn intern(&self, query: &str) -> QueryId {
-        self.inner.write().intern(query)
+        self.inner
+            .write()
+            .expect("interner lock poisoned")
+            .intern(query)
     }
 
     /// Read-only lookup.
     pub fn get(&self, query: &str) -> Option<QueryId> {
-        self.inner.read().get(query)
+        self.inner
+            .read()
+            .expect("interner lock poisoned")
+            .get(query)
     }
 
     /// Resolve to an owned string (the lock cannot escape).
     pub fn resolve_owned(&self, id: QueryId) -> Option<String> {
-        self.inner.read().try_resolve(id).map(str::to_owned)
+        self.inner
+            .read()
+            .expect("interner lock poisoned")
+            .try_resolve(id)
+            .map(str::to_owned)
     }
 
     /// Distinct query count.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().expect("interner lock poisoned").len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner
+            .read()
+            .expect("interner lock poisoned")
+            .is_empty()
     }
 
     /// Run `f` with the underlying interner borrowed read-only.
     pub fn with<R>(&self, f: impl FnOnce(&Interner) -> R) -> R {
-        f(&self.inner.read())
+        f(&self.inner.read().expect("interner lock poisoned"))
     }
 }
 
@@ -192,6 +264,26 @@ mod tests {
         assert_eq!(i.get("nokia n73 themes"), Some(id));
         assert_eq!(i.get("unknown"), None);
         assert!(i.try_resolve(QueryId(999)).is_none());
+    }
+
+    #[test]
+    fn survives_growth_beyond_initial_table() {
+        let mut i = Interner::with_capacity(4);
+        let ids: Vec<QueryId> = (0..5000).map(|k| i.intern(&format!("query {k}"))).collect();
+        assert_eq!(i.len(), 5000);
+        for (k, id) in ids.iter().enumerate() {
+            assert_eq!(i.get(&format!("query {k}")), Some(*id));
+            assert_eq!(i.resolve(*id), format!("query {k}"));
+        }
+    }
+
+    #[test]
+    fn bytes_resident_counts_content_once() {
+        let mut i = Interner::new();
+        i.intern("abcd");
+        i.intern("ef");
+        i.intern("abcd"); // duplicate — no extra bytes
+        assert_eq!(i.bytes_resident(), 6);
     }
 
     #[test]
@@ -241,5 +333,8 @@ mod tests {
             big.intern(&format!("some longer query text number {k}"));
         }
         assert!(big.heap_size_bytes() > small.heap_size_bytes());
+        // The single-copy layout stays within ~2× of raw content for long
+        // strings (the old double-store was > 2× by construction).
+        assert!(big.heap_size_bytes() < big.bytes_resident() * 2 + 64 * 1024);
     }
 }

@@ -15,9 +15,16 @@
 //! * [`topk`] — deterministic top-k selection of scored items;
 //! * [`hist`] — integer-keyed histograms (session-length distributions);
 //! * [`counter`] — convenience counting maps;
+//! * [`arena`] — the arena-backed suffix trie shared by window counting and
+//!   the serve path (zero-allocation counting, binary-search lookups);
+//! * [`rng`] — a seedable xoshiro256++ PRNG (the workspace builds with no
+//!   external crates, so this replaces `rand`);
+//! * [`bytes`] — little-endian byte buffers for the wire codecs;
 //! * [`mem`] — approximate heap-size accounting for the memory-footprint
 //!   experiment (Table VII of the paper).
 
+pub mod arena;
+pub mod bytes;
 pub mod counter;
 pub mod dist;
 pub mod hash;
@@ -25,8 +32,10 @@ pub mod hist;
 pub mod intern;
 pub mod math;
 pub mod mem;
+pub mod rng;
 pub mod topk;
 
+pub use arena::{SuffixTrie, TrieBuilder};
 pub use counter::Counter;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hist::Histogram;

@@ -105,7 +105,11 @@ mod tests {
     #[test]
     fn entropy_of_uniform_two_outcomes() {
         // H = log10(2) ≈ 0.30103
-        assert!(close(entropy_base10(&[1.0, 1.0]), std::f64::consts::LOG10_2, 1e-9));
+        assert!(close(
+            entropy_base10(&[1.0, 1.0]),
+            std::f64::consts::LOG10_2,
+            1e-9
+        ));
     }
 
     #[test]
@@ -158,7 +162,11 @@ mod tests {
     fn gaussian_pdf_peak_and_symmetry() {
         let g0 = gaussian_pdf(0.0, 1.0);
         assert!(close(g0, 0.3989422804, 1e-9));
-        assert!(close(gaussian_pdf(1.5, 2.0), gaussian_pdf(-1.5, 2.0), 1e-15));
+        assert!(close(
+            gaussian_pdf(1.5, 2.0),
+            gaussian_pdf(-1.5, 2.0),
+            1e-15
+        ));
         assert!(gaussian_pdf(3.0, 1.0) < g0);
     }
 
@@ -167,7 +175,8 @@ mod tests {
         let (x, sigma, h) = (1.3, 0.9, 1e-6);
         let fd1 = (gaussian_pdf(x, sigma + h) - gaussian_pdf(x, sigma - h)) / (2.0 * h);
         assert!(close(gaussian_pdf_dsigma(x, sigma), fd1, 1e-6));
-        let fd2 = (gaussian_pdf_dsigma(x, sigma + h) - gaussian_pdf_dsigma(x, sigma - h)) / (2.0 * h);
+        let fd2 =
+            (gaussian_pdf_dsigma(x, sigma + h) - gaussian_pdf_dsigma(x, sigma - h)) / (2.0 * h);
         assert!(close(gaussian_pdf_d2sigma(x, sigma), fd2, 1e-5));
     }
 

@@ -1,0 +1,243 @@
+//! Seedable pseudo-random number generation.
+//!
+//! The workspace builds in hermetic environments with no crates.io access, so
+//! instead of the `rand` crate this module provides the small slice of it the
+//! simulator and tests actually use: a fast, high-quality, *seedable* PRNG
+//! (`xoshiro256++`) behind a [`Rng`] trait with `random`, `random_range` and
+//! `random_bool`. Streams are deterministic per seed and stable across
+//! platforms and releases — experiment corpora must be bit-reproducible.
+
+/// Uniform random generation over a handful of primitive types.
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample of a primitive type (`f64` in `[0, 1)`, full-range
+    /// integers, fair `bool`).
+    #[inline]
+    fn random<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform integer in a half-open (`lo..hi`) or inclusive (`lo..=hi`)
+    /// range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    #[inline]
+    fn random_range<T: SampleRange>(&mut self, range: T) -> T::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.random::<f64>() < p
+    }
+}
+
+/// Types [`Rng::random`] can produce.
+pub trait Sample {
+    /// Draw one uniform value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Sample for u64 {
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for f64 {
+    /// 53 uniform mantissa bits → `[0, 1)`.
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for bool {
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges [`Rng::random_range`] can sample.
+pub trait SampleRange {
+    /// Element type of the range.
+    type Output;
+    /// Draw one uniform element.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (reduce_u64(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (reduce_u64(rng.next_u64(), span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+/// Map a uniform `u64` onto `0..span` with negligible bias (multiply-shift;
+/// span is tiny relative to 2^64 everywhere in this workspace).
+#[inline]
+fn reduce_u64(x: u64, span: u64) -> u64 {
+    ((x as u128 * span as u128) >> 64) as u64
+}
+
+/// The workspace's standard PRNG: xoshiro256++ seeded via SplitMix64.
+///
+/// Not cryptographic — it drives synthetic-log generation and randomized
+/// tests, where speed and reproducibility are what matter.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Deterministically expand a 64-bit seed into the full state.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = move || {
+            // SplitMix64.
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s }
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ (Blackman & Vigna, public domain reference).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let a = rng.random_range(3usize..17);
+            assert!((3..17).contains(&a));
+            let b = rng.random_range(5u32..=9);
+            assert!((5..=9).contains(&b));
+        }
+        // Degenerate inclusive range.
+        assert_eq!(rng.random_range(4u64..=4), 4);
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.random_range(0usize..8)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..50_000).filter(|_| rng.random_bool(0.3)).count();
+        let frac = hits as f64 / 50_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac = {frac}");
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = rng.random_range(3u32..3);
+    }
+}

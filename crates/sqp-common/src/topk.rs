@@ -71,10 +71,7 @@ pub fn merge_top_k(lists: &[Vec<Scored>], k: usize) -> Vec<Scored> {
             *acc.entry(s.query).or_insert(0.0) += s.score;
         }
     }
-    top_k(
-        acc.into_iter().map(|(q, s)| Scored::new(q, s)).collect(),
-        k,
-    )
+    top_k(acc.into_iter().map(|(q, s)| Scored::new(q, s)).collect(), k)
 }
 
 #[cfg(test)]
@@ -133,48 +130,56 @@ mod tests {
 }
 
 #[cfg(test)]
-mod prop_tests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::{Rng, StdRng};
 
-    proptest! {
-        #[test]
-        fn equals_full_sort_prefix(
-            scores in proptest::collection::vec((0u32..64, 0u64..50), 0..200),
-            k in 0usize..16,
-        ) {
+    #[test]
+    fn equals_full_sort_prefix() {
+        for case in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(case);
+            let n = rng.random_range(0usize..200);
+            let k = rng.random_range(0usize..16);
             // Deduplicate ids to keep the expected order well-defined.
             let mut seen = std::collections::HashSet::new();
-            let items: Vec<Scored> = scores
-                .into_iter()
+            let items: Vec<Scored> = (0..n)
+                .map(|_| (rng.random_range(0u32..64), rng.random_range(0u64..50)))
                 .filter(|(q, _)| seen.insert(*q))
                 .map(|(q, c)| Scored::new(QueryId(q), c as f64))
                 .collect();
 
             let mut expect = items.clone();
             expect.sort_by(|a, b| {
-                b.score.partial_cmp(&a.score).unwrap()
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap()
                     .then_with(|| a.query.cmp(&b.query))
             });
             expect.truncate(k);
 
             let got = top_k(items, k);
-            prop_assert_eq!(got, expect);
+            assert_eq!(got, expect, "case {case}");
         }
+    }
 
-        #[test]
-        fn output_is_sorted_and_bounded(
-            scores in proptest::collection::vec((0u32..1000, 0.0f64..100.0), 0..300),
-            k in 1usize..10,
-        ) {
-            let items: Vec<Scored> = scores
-                .into_iter()
-                .map(|(q, sc)| Scored::new(QueryId(q), sc))
+    #[test]
+    fn output_is_sorted_and_bounded() {
+        for case in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + case);
+            let n = rng.random_range(0usize..300);
+            let k = rng.random_range(1usize..10);
+            let items: Vec<Scored> = (0..n)
+                .map(|_| {
+                    Scored::new(
+                        QueryId(rng.random_range(0u32..1000)),
+                        rng.random::<f64>() * 100.0,
+                    )
+                })
                 .collect();
             let out = top_k(items, k);
-            prop_assert!(out.len() <= k);
+            assert!(out.len() <= k, "case {case}");
             for w in out.windows(2) {
-                prop_assert!(w[0].score >= w[1].score);
+                assert!(w[0].score >= w[1].score, "case {case}");
             }
         }
     }

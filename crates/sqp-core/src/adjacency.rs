@@ -90,7 +90,10 @@ mod tests {
     #[test]
     fn counts_adjacent_pairs_weighted() {
         let m = model();
-        assert_eq!(m.successors(QueryId(0)), &[(QueryId(1), 5), (QueryId(2), 3)]);
+        assert_eq!(
+            m.successors(QueryId(0)),
+            &[(QueryId(1), 5), (QueryId(2), 3)]
+        );
         assert_eq!(m.successors(QueryId(1)), &[(QueryId(2), 5)]);
         assert!(m.successors(QueryId(2)).is_empty());
         assert!(m.successors(QueryId(3)).is_empty());
@@ -125,7 +128,10 @@ mod tests {
     #[test]
     fn ties_break_by_ascending_id() {
         let m = Adjacency::train(&[(seq(&[0, 5]), 2), (seq(&[0, 3]), 2)]);
-        assert_eq!(m.successors(QueryId(0)), &[(QueryId(3), 2), (QueryId(5), 2)]);
+        assert_eq!(
+            m.successors(QueryId(0)),
+            &[(QueryId(3), 2), (QueryId(5), 2)]
+        );
     }
 
     #[test]

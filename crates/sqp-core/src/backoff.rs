@@ -87,7 +87,7 @@ impl BackoffNgram {
             let total = next.iter().map(|(_, c)| c).sum();
             states.insert(ctx, State { next, total });
         }
-        let unigrams: Box<[(QueryId, u64)]> = counts.root_counts().sorted_desc().into();
+        let unigrams: Box<[(QueryId, u64)]> = counts.root_counts_desc().into();
         let unigram_total = unigrams.iter().map(|(_, c)| c).sum();
         BackoffNgram {
             states,
@@ -302,7 +302,7 @@ mod tests {
             },
         );
         assert_eq!(m.state_count(), 2); // only [0] and [1]
-        // A length-3 context still answers through its last query.
+                                        // A length-3 context still answers through its last query.
         assert!(!m.recommend(&seq(&[0, 1, 0]), 3).is_empty());
     }
 

@@ -1,32 +1,32 @@
-//! Suffix-window counting for VMM training.
+//! Suffix-window counting for VMM training, on the arena suffix trie.
 //!
 //! VMM statistics are counted over **windows at any session position**, not
 //! just session prefixes. This is forced by the paper's own toy example
 //! (Table II → Fig 3): P(q0|q1) = 0.8 only holds if the mid-session
 //! occurrences of `q1` in `q0q1q0` / `q0q1q1` are counted — prefix-only
 //! counting would give 0.833. Each window records its total occurrences, how
-//! often it occurs at a session start (the `‖[e,s]‖` events of Eq. 6), and
-//! the distribution of queries that follow it.
+//! often it occurs at a session start (the `‖[e,s]‖` events of Eq. 6), and —
+//! implicitly, as its trie children — the distribution of queries that
+//! follow it.
+//!
+//! The counts live in a [`SuffixTrie`]: a session of length L costs
+//! O(L·min(L, D+1)) constant-time trie steps with **zero per-window
+//! allocations**, instead of the old hashmap's owned `Box<[QueryId]>` key
+//! per window. Counting shards across threads ([`WindowCounts::build_with`])
+//! with bit-identical results: per-shard tries merge additively and the
+//! frozen layout is canonical.
 
-use sqp_common::{Counter, FxHashMap, FxHashSet, QueryId, QuerySeq};
+use sqp_common::arena::{SuffixTrie, TrieBuilder};
+use sqp_common::{QueryId, QuerySeq};
 
-/// Counts for one window (a candidate PST context).
-#[derive(Clone, Debug, Default)]
-pub struct WindowEntry {
-    /// Weighted occurrences of the window anywhere in a session.
-    pub total: u64,
-    /// Weighted occurrences at the very start of a session.
-    pub at_start: u64,
-    /// Weighted counts of the query immediately following the window.
-    pub next: Counter<QueryId>,
-}
+/// Sessions below this count train sequentially even when parallelism is
+/// requested — thread startup would dominate.
+const PARALLEL_MIN_SESSIONS: usize = 2_048;
 
 /// All window statistics of a training corpus up to a maximum window length.
 #[derive(Debug)]
 pub struct WindowCounts {
-    entries: FxHashMap<QuerySeq, WindowEntry>,
-    /// Prior (root) distribution: weighted occurrences of every query.
-    root_next: Counter<QueryId>,
+    trie: SuffixTrie,
     /// Number of distinct queries in the corpus — the paper's |Q|.
     pub n_queries: usize,
     /// Total weighted sessions.
@@ -37,84 +37,214 @@ pub struct WindowCounts {
     pub max_len: usize,
 }
 
+/// A borrowed view of one counted window (a candidate PST context).
+#[derive(Clone, Copy, Debug)]
+pub struct WindowEntry<'a> {
+    trie: &'a SuffixTrie,
+    node: u32,
+}
+
+impl<'a> WindowEntry<'a> {
+    /// Weighted occurrences of the window anywhere in a session.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.trie.total(self.node)
+    }
+
+    /// Weighted occurrences at the very start of a session.
+    #[inline]
+    pub fn at_start(&self) -> u64 {
+        self.trie.at_start(self.node)
+    }
+
+    /// Total weighted continuation mass (occurrences followed by a query).
+    #[inline]
+    pub fn next_total(&self) -> u64 {
+        self.trie.cont_total(self.node)
+    }
+
+    /// Weighted count of `q` immediately following the window.
+    #[inline]
+    pub fn next_count(&self, q: QueryId) -> u64 {
+        let (keys, counts) = self.trie.continuations(self.node);
+        keys.binary_search(&q).map(|i| counts[i]).unwrap_or(0)
+    }
+
+    /// Continuation distribution as parallel id-sorted slices
+    /// `(queries, counts)`, borrowed from the arena.
+    #[inline]
+    pub fn next_sorted(&self) -> (&'a [QueryId], &'a [u64]) {
+        self.trie.continuations(self.node)
+    }
+
+    /// Iterate `(query, count)` continuations in ascending id order.
+    pub fn next_iter(&self) -> impl Iterator<Item = (QueryId, u64)> + 'a {
+        let (keys, counts) = self.trie.continuations(self.node);
+        keys.iter().copied().zip(counts.iter().copied())
+    }
+
+    /// Continuations sorted by descending count, ties by ascending id.
+    pub fn next_sorted_desc(&self) -> Vec<(QueryId, u64)> {
+        let mut v: Vec<(QueryId, u64)> = self.next_iter().collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The trie node backing this window.
+    #[inline]
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+}
+
 impl WindowCounts {
     /// Count windows of length `1..=max_len` over weighted sessions.
     /// `max_len = None` counts every possible window (unbounded VMM).
     pub fn build(sessions: &[(QuerySeq, u64)], max_len: Option<usize>) -> Self {
+        Self::build_with(sessions, max_len, false)
+    }
+
+    /// Count windows, optionally sharding sessions across threads. The
+    /// result is bit-identical either way — per-shard tries merge
+    /// additively and the frozen arena layout is canonical — so `parallel`
+    /// is purely a throughput knob.
+    pub fn build_with(
+        sessions: &[(QuerySeq, u64)],
+        max_len: Option<usize>,
+        parallel: bool,
+    ) -> Self {
+        let threads = if parallel && sessions.len() >= PARALLEL_MIN_SESSIONS {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            1
+        };
+        Self::build_sharded(sessions, max_len, threads)
+    }
+
+    /// Count with an explicit shard count (tests force `threads > 1` to
+    /// exercise the merge path regardless of the host's core count).
+    pub fn build_sharded(
+        sessions: &[(QuerySeq, u64)],
+        max_len: Option<usize>,
+        threads: usize,
+    ) -> Self {
         let longest = sessions.iter().map(|(s, _)| s.len()).max().unwrap_or(0);
         let max_len = max_len.unwrap_or(longest).min(longest.max(1));
+        // Depth max_len+1 nodes carry the continuation counts of
+        // depth-max_len windows (a window's next-query distribution is its
+        // children's totals).
+        let depth_limit = max_len + 1;
 
-        let mut entries: FxHashMap<QuerySeq, WindowEntry> = FxHashMap::default();
-        let mut root_next = Counter::new();
-        let mut distinct: FxHashSet<QueryId> = FxHashSet::default();
-        let mut total_sessions = 0u64;
-        let mut total_occurrences = 0u64;
+        let threads = threads.clamp(1, sessions.len().max(1));
 
-        for (s, f) in sessions {
-            total_sessions += f;
-            for (pos, &q) in s.iter().enumerate() {
-                distinct.insert(q);
-                root_next.add(q, *f);
-                total_occurrences += f;
-                let _ = pos;
+        let (builder, total_sessions) = if threads <= 1 {
+            Self::count_shard(sessions, depth_limit)
+        } else {
+            let chunk = sessions.len().div_ceil(threads);
+            let mut shards: Vec<(TrieBuilder, u64)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = sessions
+                    .chunks(chunk)
+                    .map(|shard| scope.spawn(move || Self::count_shard(shard, depth_limit)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("counting shard panicked"))
+                    .collect()
+            });
+            let (mut builder, mut total_sessions) = shards.remove(0);
+            for (shard, sessions_in_shard) in &shards {
+                builder.merge(shard);
+                total_sessions += sessions_in_shard;
             }
-            for start in 0..s.len() {
-                let limit = max_len.min(s.len() - start);
-                for win_len in 1..=limit {
-                    let w: QuerySeq = s[start..start + win_len].into();
-                    let e = entries.entry(w).or_default();
-                    e.total += f;
-                    if start == 0 {
-                        e.at_start += f;
-                    }
-                    if start + win_len < s.len() {
-                        e.next.add(s[start + win_len], *f);
-                    }
-                }
-            }
-        }
+            (builder, total_sessions)
+        };
 
+        let trie = builder.freeze(max_len as u32);
+        let (root_keys, root_counts) = trie.continuations(SuffixTrie::ROOT);
+        let n_queries = root_keys.len();
+        let total_occurrences = root_counts.iter().sum();
         WindowCounts {
-            entries,
-            root_next,
-            n_queries: distinct.len(),
+            trie,
+            n_queries,
             total_sessions,
             total_occurrences,
             max_len,
         }
     }
 
-    /// Counts for a window, if observed.
-    pub fn entry(&self, window: &[QueryId]) -> Option<&WindowEntry> {
-        self.entries.get(window)
+    fn count_shard(sessions: &[(QuerySeq, u64)], depth_limit: usize) -> (TrieBuilder, u64) {
+        // Distinct windows are bounded by total counting steps; a rough hint
+        // avoids mid-count rehashing without a second pass.
+        let positions: usize = sessions.iter().map(|(s, _)| s.len()).sum();
+        let mut builder = TrieBuilder::with_edge_capacity((positions / 2).min(1 << 26));
+        let mut total_sessions = 0u64;
+        for (s, f) in sessions {
+            total_sessions += f;
+            builder.count_session(s, *f, depth_limit);
+        }
+        (builder, total_sessions)
     }
 
-    /// The prior next-query distribution (root of the PST).
-    pub fn root_counts(&self) -> &Counter<QueryId> {
-        &self.root_next
+    /// Counts for a window, if observed.
+    #[inline]
+    pub fn entry(&self, window: &[QueryId]) -> Option<WindowEntry<'_>> {
+        self.trie.window(window).map(|node| WindowEntry {
+            trie: &self.trie,
+            node,
+        })
+    }
+
+    /// View of a window by trie node id.
+    #[inline]
+    pub fn entry_at(&self, node: u32) -> WindowEntry<'_> {
+        WindowEntry {
+            trie: &self.trie,
+            node,
+        }
+    }
+
+    /// The prior next-query distribution (root of the PST) as id-sorted
+    /// parallel slices: every query with its total weighted occurrences.
+    pub fn root_continuations(&self) -> (&[QueryId], &[u64]) {
+        self.trie.continuations(SuffixTrie::ROOT)
+    }
+
+    /// The root prior sorted by descending count, ties by ascending id.
+    pub fn root_counts_desc(&self) -> Vec<(QueryId, u64)> {
+        self.entry_at(SuffixTrie::ROOT).next_sorted_desc()
     }
 
     /// Maximum-likelihood conditional distribution `P(·|window)` as sorted
     /// `(query, count)` pairs; empty when the window has no continuation.
     pub fn ml_counts(&self, window: &[QueryId]) -> Vec<(QueryId, u64)> {
-        self.entries
-            .get(window)
-            .map(|e| e.next.sorted_desc())
+        self.entry(window)
+            .map(|e| e.next_sorted_desc())
             .unwrap_or_default()
     }
 
     /// Candidate PST contexts: observed windows with continuation evidence of
     /// at least `min_support`, sorted by (length, sequence) so growth is
-    /// deterministic and parents precede children.
+    /// deterministic and parents precede children. The trie's canonical BFS
+    /// layout *is* that order — no sort happens here.
     pub fn candidates(&self, min_support: u64) -> Vec<QuerySeq> {
-        let mut out: Vec<QuerySeq> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.next.total() >= min_support.max(1))
-            .map(|(w, _)| w.clone())
-            .collect();
-        out.sort_unstable_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
-        out
+        let min_support = min_support.max(1);
+        let mut path = Vec::with_capacity(self.max_len);
+        self.candidate_nodes(min_support)
+            .map(|node| {
+                self.trie.path(node, &mut path);
+                path.as_slice().into()
+            })
+            .collect()
+    }
+
+    /// Trie node ids of the candidate windows, in (length, sequence) order.
+    pub fn candidate_nodes(&self, min_support: u64) -> impl Iterator<Item = u32> + '_ {
+        let min_support = min_support.max(1);
+        self.trie
+            .window_nodes()
+            .filter(move |&n| self.trie.cont_total(n) >= min_support)
     }
 
     /// Escape probability of Eq. (6) for an *unobserved* context
@@ -128,35 +258,48 @@ impl WindowCounts {
     /// value is floored at 1e-6 so a mixture component is penalised, never
     /// annihilated; unobserved `s'` escapes freely (probability 1).
     pub fn escape_prob(&self, s: &[QueryId]) -> f64 {
-        debug_assert!(!s.is_empty());
-        let suffix = &s[1..];
-        if suffix.is_empty() {
-            // s' = e: sessions are the "starts", occurrences the total.
-            let den = self.total_occurrences + self.total_sessions;
-            if den == 0 {
-                return 1.0;
-            }
-            return (self.total_sessions as f64 / den as f64).max(1e-6);
-        }
-        match self.entries.get(suffix) {
-            None => 1.0,
-            Some(e) if e.total == 0 => 1.0,
-            Some(e) => (e.at_start as f64 / e.total as f64).max(1e-6),
-        }
+        escape_prob_in(&self.trie, self.total_sessions, self.total_occurrences, s)
     }
 
     /// Number of distinct observed windows.
     pub fn window_count(&self) -> usize {
-        self.entries.len()
+        self.trie.window_count()
     }
 
-    /// Drain into the compact per-window map `(total, at_start)` kept by the
-    /// trained VMM for escape computation.
-    pub fn into_escape_table(self) -> FxHashMap<QuerySeq, (u64, u64)> {
-        self.entries
-            .into_iter()
-            .map(|(w, e)| (w, (e.total, e.at_start)))
-            .collect()
+    /// Borrow the underlying arena.
+    pub fn trie(&self) -> &SuffixTrie {
+        &self.trie
+    }
+
+    /// Consume into the arena, which doubles as the trained VMM's escape
+    /// table (total / at-start counts per window, Eq. 6).
+    pub fn into_trie(self) -> SuffixTrie {
+        self.trie
+    }
+}
+
+/// Escape probability over a bare trie — shared by [`WindowCounts`] and the
+/// trained [`crate::Vmm`], which keeps only the trie.
+pub(crate) fn escape_prob_in(
+    trie: &SuffixTrie,
+    total_sessions: u64,
+    total_occurrences: u64,
+    s: &[QueryId],
+) -> f64 {
+    debug_assert!(!s.is_empty());
+    let suffix = &s[1..];
+    if suffix.is_empty() {
+        // s' = e: sessions are the "starts", occurrences the total.
+        let den = total_occurrences + total_sessions;
+        if den == 0 {
+            return 1.0;
+        }
+        return (total_sessions as f64 / den as f64).max(1e-6);
+    }
+    match trie.window(suffix) {
+        None => 1.0,
+        Some(node) if trie.total(node) == 0 => 1.0,
+        Some(node) => (trie.at_start(node) as f64 / trie.total(node) as f64).max(1e-6),
     }
 }
 
@@ -171,9 +314,9 @@ mod tests {
         // Paper: P(q0|[q1,q0]) = 3/10.
         let c = WindowCounts::build(&toy_corpus(), None);
         let e = c.entry(&seq(&[1, 0])).unwrap();
-        assert_eq!(e.next.get(&QueryId(0)), 3);
-        assert_eq!(e.next.get(&QueryId(1)), 7);
-        assert_eq!(e.next.total(), 10);
+        assert_eq!(e.next_count(QueryId(0)), 3);
+        assert_eq!(e.next_count(QueryId(1)), 7);
+        assert_eq!(e.next_total(), 10);
     }
 
     #[test]
@@ -181,12 +324,12 @@ mod tests {
         let c = WindowCounts::build(&toy_corpus(), None);
         // P(·|q1): q1→q0 16 times, q1→q1 4 times (0.8 / 0.2 in the paper).
         let e1 = c.entry(&seq(&[1])).unwrap();
-        assert_eq!(e1.next.get(&QueryId(0)), 16);
-        assert_eq!(e1.next.get(&QueryId(1)), 4);
+        assert_eq!(e1.next_count(QueryId(0)), 16);
+        assert_eq!(e1.next_count(QueryId(1)), 4);
         // P(·|q0): q0→q0 81, q0→q1 9 (0.9 / 0.1 in the paper).
         let e0 = c.entry(&seq(&[0])).unwrap();
-        assert_eq!(e0.next.get(&QueryId(0)), 81);
-        assert_eq!(e0.next.get(&QueryId(1)), 9);
+        assert_eq!(e0.next_count(QueryId(0)), 81);
+        assert_eq!(e0.next_count(QueryId(1)), 9);
     }
 
     #[test]
@@ -194,19 +337,23 @@ mod tests {
         // Paper: without filtering, S′ = {q1q0, q0q1, q0, q1}.
         let c = WindowCounts::build(&toy_corpus(), None);
         let cands = c.candidates(1);
-        let expect: Vec<QuerySeq> =
-            vec![seq(&[0]), seq(&[1]), seq(&[0, 1]), seq(&[1, 0])];
+        let expect: Vec<QuerySeq> = vec![seq(&[0]), seq(&[1]), seq(&[0, 1]), seq(&[1, 0])];
         assert_eq!(cands, expect);
     }
 
     #[test]
     fn root_prior_counts_every_occurrence() {
         let c = WindowCounts::build(&toy_corpus(), None);
-        assert_eq!(c.root_counts().get(&QueryId(0)), 187);
-        assert_eq!(c.root_counts().get(&QueryId(1)), 31);
+        let root = c.entry_at(sqp_common::SuffixTrie::ROOT);
+        assert_eq!(root.next_count(QueryId(0)), 187);
+        assert_eq!(root.next_count(QueryId(1)), 31);
         assert_eq!(c.total_occurrences, 218);
         assert_eq!(c.total_sessions, 108);
         assert_eq!(c.n_queries, 2);
+        assert_eq!(
+            c.root_counts_desc(),
+            vec![(QueryId(0), 187), (QueryId(1), 31)]
+        );
     }
 
     #[test]
@@ -215,6 +362,8 @@ mod tests {
         assert!(c.entry(&seq(&[0, 1])).is_some());
         assert!(c.entry(&seq(&[0, 1, 2])).is_none());
         assert_eq!(c.max_len, 2);
+        // Length-2 windows still know their continuations.
+        assert_eq!(c.entry(&seq(&[1, 2])).unwrap().next_count(QueryId(3)), 1);
     }
 
     #[test]
@@ -223,12 +372,12 @@ mod tests {
         // [0] starts sessions q0q0 (78), q0q1q0 (1), q0q1q1 (1), q0 (10) = 90;
         // occurs 187 times total.
         let e = c.entry(&seq(&[0])).unwrap();
-        assert_eq!(e.at_start, 90);
-        assert_eq!(e.total, 187);
+        assert_eq!(e.at_start(), 90);
+        assert_eq!(e.total(), 187);
         // [1,0] starts q1q0q0 (3), q1q0q1 (7), q1q0 (5) = 15.
         let e10 = c.entry(&seq(&[1, 0])).unwrap();
-        assert_eq!(e10.at_start, 15);
-        assert_eq!(e10.total, 16); // plus [0,1,0]'s suffix occurrence
+        assert_eq!(e10.at_start(), 15);
+        assert_eq!(e10.total(), 16); // plus [0,1,0]'s suffix occurrence
     }
 
     #[test]
@@ -260,5 +409,37 @@ mod tests {
         assert_eq!(c.n_queries, 0);
         assert_eq!(c.window_count(), 0);
         assert!(c.candidates(1).is_empty());
+    }
+
+    #[test]
+    fn sharded_build_is_bit_identical() {
+        let mut sessions: Vec<(QuerySeq, u64)> = Vec::new();
+        for i in 0..4_000u32 {
+            let a = i % 13;
+            let b = (i * 7 + 1) % 13;
+            let c = (i * 3 + 5) % 13;
+            sessions.push((seq(&[a, b, c, a % 5]), 1 + u64::from(i % 4)));
+        }
+        let seq_counts = WindowCounts::build_with(&sessions, None, false);
+        // Explicit shard counts exercise the merge path even on one core;
+        // build_with(parallel=true) must agree as well.
+        for counts in [
+            WindowCounts::build_sharded(&sessions, None, 3),
+            WindowCounts::build_sharded(&sessions, None, 7),
+            WindowCounts::build_with(&sessions, None, true),
+        ] {
+            assert_eq!(seq_counts.trie(), counts.trie());
+            assert_eq!(seq_counts.total_sessions, counts.total_sessions);
+            assert_eq!(seq_counts.total_occurrences, counts.total_occurrences);
+            assert_eq!(seq_counts.n_queries, counts.n_queries);
+        }
+    }
+
+    #[test]
+    fn next_sorted_is_id_ordered_and_borrowed() {
+        let c = WindowCounts::build(&toy_corpus(), None);
+        let (keys, counts) = c.entry(&seq(&[1])).unwrap().next_sorted();
+        assert_eq!(keys, &[QueryId(0), QueryId(1)]);
+        assert_eq!(counts, &[16, 4]);
     }
 }

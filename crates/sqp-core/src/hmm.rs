@@ -17,9 +17,8 @@
 #![allow(clippy::needless_range_loop)] // dense matrix math reads best indexed
 
 use crate::model::{Recommender, SequenceScorer, WeightedSessions};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sqp_common::mem::HASH_ENTRY_OVERHEAD;
+use sqp_common::rng::{Rng, StdRng};
 use sqp_common::topk::Scored;
 use sqp_common::{FxHashMap, FxHashSet, QueryId};
 
@@ -81,11 +80,7 @@ impl Hmm {
             .filter(|(s, _)| s.len() >= 2)
             .map(|(s, f)| (s.as_ref(), *f as f64))
             .collect();
-        corpus.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap()
-                .then_with(|| a.0.cmp(b.0))
-        });
+        corpus.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(b.0)));
         corpus.truncate(config.max_sequences);
 
         let mut vocabulary: FxHashSet<QueryId> = FxHashSet::default();
@@ -141,7 +136,7 @@ impl Hmm {
 
                 // Scaled forward pass.
                 let mut alpha = vec![vec![0.0; k]; t_len];
-                let mut scale = vec![0.0; t_len];
+                let mut scale = vec![0.0f64; t_len];
                 for j in 0..k {
                     alpha[0][j] = start[j] * e(j, 0);
                     scale[0] += alpha[0][j];
@@ -194,15 +189,13 @@ impl Hmm {
                         let mut xi_norm = 0.0;
                         for i in 0..k {
                             for j in 0..k {
-                                xi_norm +=
-                                    alpha[t][i] * trans[i][j] * e(j, t + 1) * beta[t + 1][j];
+                                xi_norm += alpha[t][i] * trans[i][j] * e(j, t + 1) * beta[t + 1][j];
                             }
                         }
                         let xi_norm = xi_norm.max(1e-300);
                         for i in 0..k {
                             for j in 0..k {
-                                let xi = alpha[t][i] * trans[i][j] * e(j, t + 1)
-                                    * beta[t + 1][j]
+                                let xi = alpha[t][i] * trans[i][j] * e(j, t + 1) * beta[t + 1][j]
                                     / xi_norm
                                     * weight;
                                 acc_trans[i][j] += xi;

@@ -51,7 +51,9 @@ mod tests {
             if context.is_empty() {
                 return Vec::new();
             }
-            (0..k as u32).map(|i| Scored::new(QueryId(i), 1.0)).collect()
+            (0..k as u32)
+                .map(|i| Scored::new(QueryId(i), 1.0))
+                .collect()
         }
         fn memory_bytes(&self) -> usize {
             0

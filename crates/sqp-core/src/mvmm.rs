@@ -93,16 +93,38 @@ impl Mvmm {
     /// # Panics
     /// Panics when `cfg.components` is empty.
     pub fn train(sessions: &WeightedSessions, cfg: &MvmmConfig) -> Self {
-        assert!(!cfg.components.is_empty(), "MVMM needs at least one component");
+        assert!(
+            !cfg.components.is_empty(),
+            "MVMM needs at least one component"
+        );
+
+        // Window counts depend only on `max_depth`, not on ε — count the
+        // corpus once per distinct depth and train every component off the
+        // shared trie (the default ε sweep counts once instead of 11×).
+        let mut depths: Vec<Option<usize>> = Vec::new();
+        for c in &cfg.components {
+            if !depths.contains(&c.max_depth) {
+                depths.push(c.max_depth);
+            }
+        }
+        let counts: Vec<crate::counts::WindowCounts> = depths
+            .iter()
+            .map(|d| crate::counts::WindowCounts::build_with(sessions, *d, cfg.parallel))
+            .collect();
+        let counts_for = |c: &VmmConfig| {
+            let i = depths.iter().position(|d| *d == c.max_depth).unwrap();
+            &counts[i]
+        };
 
         let components: Vec<Vmm> = if cfg.parallel && cfg.components.len() > 1 {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = cfg
                     .components
                     .iter()
                     .map(|c| {
+                        let shared = counts_for(c);
                         let cc = *c;
-                        scope.spawn(move |_| Vmm::train(sessions, cc))
+                        scope.spawn(move || Vmm::train_with_counts(shared, cc))
                     })
                     .collect();
                 handles
@@ -110,11 +132,10 @@ impl Mvmm {
                     .map(|h| h.join().expect("component training panicked"))
                     .collect()
             })
-            .expect("crossbeam scope failed")
         } else {
             cfg.components
                 .iter()
-                .map(|c| Vmm::train(sessions, *c))
+                .map(|c| Vmm::train_with_counts(counts_for(c), *c))
                 .collect()
         };
 
@@ -132,11 +153,7 @@ impl Mvmm {
             let mut a_row = Vec::with_capacity(components.len());
             let mut d_row = Vec::with_capacity(components.len());
             for comp in &components {
-                a_row.push(
-                    10f64
-                        .powf(comp.sequence_log10_prob_escaped(s))
-                        .max(1e-300),
-                );
+                a_row.push(10f64.powf(comp.sequence_log10_prob_escaped(s)).max(1e-300));
                 d_row.push(Self::disparity(comp, ctx));
             }
             a.push(a_row);
@@ -222,10 +239,9 @@ impl Mvmm {
             for node in comp.pst().iter() {
                 let cost = std::mem::size_of::<crate::pst::PstNode>()
                     + node.context.len() * std::mem::size_of::<QueryId>()
-                    + std::mem::size_of_val(node.dist.observed())
+                    + node.dist.support() * std::mem::size_of::<u32>() // rank array
                     + std::mem::size_of_val(node.dist.raw_counts())
-                    + std::mem::size_of::<u32>() // child edge slot
-                    + sqp_common::mem::HASH_ENTRY_OVERHEAD
+                    + std::mem::size_of::<(QueryId, u32)>() // child edge slot
                     + 2; // source-model bitmask (the paper's "4 extra bits", padded)
                 let e = per_state.entry(&node.context).or_insert(0);
                 *e = (*e).max(cost);
@@ -264,7 +280,7 @@ impl Recommender for Mvmm {
         for (comp, w) in self.components.iter().zip(&weights) {
             if w.is_some() {
                 if let Some((idx, _)) = comp.match_state(context) {
-                    for &(q, _) in comp.pst().node(idx).dist.observed().iter().take(k * 4) {
+                    for (q, _) in comp.pst().node(idx).dist.observed().take(k * 4) {
                         candidates.insert(q);
                     }
                 }
@@ -391,12 +407,7 @@ mod tests {
     #[test]
     fn merged_state_count_bounds() {
         let m = toy_mvmm();
-        let max_single = m
-            .components()
-            .iter()
-            .map(|c| c.node_count())
-            .max()
-            .unwrap();
+        let max_single = m.components().iter().map(|c| c.node_count()).max().unwrap();
         let sum: usize = m.components().iter().map(|c| c.node_count()).sum();
         let merged = m.merged_state_count();
         assert!(merged >= max_single);
@@ -427,7 +438,10 @@ mod tests {
             .collect();
         let lo = comp_lps.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = comp_lps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(mix >= lo - 1e-9 && mix <= hi + 1e-9, "{lo} <= {mix} <= {hi}");
+        assert!(
+            mix >= lo - 1e-9 && mix <= hi + 1e-9,
+            "{lo} <= {mix} <= {hi}"
+        );
     }
 
     #[test]

@@ -215,8 +215,7 @@ pub fn fit_mixture_sigmas(
             let mut eta = 1.0;
             let mut accepted = false;
             for _ in 0..30 {
-                let mut cand: Vec<f64> =
-                    sigma.iter().zip(&g).map(|(s, gi)| s + eta * gi).collect();
+                let mut cand: Vec<f64> = sigma.iter().zip(&g).map(|(s, gi)| s + eta * gi).collect();
                 project(&mut cand, cfg);
                 let fc = objective(p, a, d, &cand);
                 if fc > f + 1e-15 {
@@ -350,9 +349,7 @@ mod tests {
         let a: Vec<Vec<f64>> = (0..n)
             .map(|t| vec![0.1 + 0.01 * (t % 5) as f64, 0.3, 0.05])
             .collect();
-        let d: Vec<Vec<f64>> = (0..n)
-            .map(|t| vec![(t % 3) as f64, 1.0, 2.0])
-            .collect();
+        let d: Vec<Vec<f64>> = (0..n).map(|t| vec![(t % 3) as f64, 1.0, 2.0]).collect();
         let short = fit_mixture_sigmas(
             &p,
             &a,
@@ -380,7 +377,12 @@ mod tests {
             let mut down = sigma.clone();
             down[k] -= h;
             let fd = (objective(&p, &a, &d, &up) - objective(&p, &a, &d, &down)) / (2.0 * h);
-            assert!((g[k] - fd).abs() < 1e-6, "component {k}: {} vs {}", g[k], fd);
+            assert!(
+                (g[k] - fd).abs() < 1e-6,
+                "component {k}: {} vs {}",
+                g[k],
+                fd
+            );
         }
     }
 

@@ -6,15 +6,20 @@
 //! load it in each serving process. The format is a small, versioned,
 //! length-prefixed binary layout; reconstruction is exact because node
 //! distributions are rebuilt from the stored raw counts through the same
-//! deterministic smoothing used at training time.
+//! deterministic smoothing used at training time, and the window trie is
+//! stored as its canonical breadth-first `(parent, key, total, at-start)`
+//! rows (one fixed-size row per node — no per-window key sequences, which
+//! shrinks the escape-table section from O(Σ|w|) to O(#windows)).
 
 use crate::pst::{NodeDist, Pst};
 use crate::vmm::{Vmm, VmmConfig};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use sqp_common::{FxHashMap, QueryId, QuerySeq};
+use sqp_common::arena::SuffixTrie;
+use sqp_common::bytes::{Bytes, BytesMut};
+use sqp_common::{QueryId, QuerySeq};
 
 const MAGIC: &[u8; 4] = b"SQPV";
-const VERSION: u32 = 1;
+/// Version 2: trie-row escape table (version 1 stored owned window keys).
+const VERSION: u32 = 2;
 
 fn put_seq(buf: &mut BytesMut, seq: &[QueryId]) {
     buf.put_u32_le(seq.len() as u32);
@@ -63,12 +68,13 @@ impl Vmm {
             }
         }
 
-        // Escape table, sorted for deterministic output.
-        let mut escapes: Vec<(&QuerySeq, &(u64, u64))> = self.escape_table.iter().collect();
-        escapes.sort_by_key(|(w, _)| (w.len(), (*w).clone()));
-        buf.put_u64_le(escapes.len() as u64);
-        for (w, &(total, at_start)) in escapes {
-            put_seq(&mut buf, w);
+        // Window trie (escape table): canonical BFS rows, already
+        // deterministic by construction.
+        buf.put_u32_le(self.windows.window_len() as u32);
+        buf.put_u64_le((self.windows.len() - 1) as u64);
+        for (parent, key, total, at_start) in self.windows.parts() {
+            buf.put_u32_le(parent);
+            buf.put_u32_le(key);
             buf.put_u64_le(total);
             buf.put_u64_le(at_start);
         }
@@ -102,6 +108,7 @@ impl Vmm {
             epsilon,
             max_depth: (max_depth_raw != u64::MAX).then_some(max_depth_raw as usize),
             min_support,
+            ..VmmConfig::default()
         };
 
         if data.remaining() < 8 {
@@ -144,24 +151,31 @@ impl Vmm {
         }
         let pst = pst.ok_or("root missing")?;
 
-        if data.remaining() < 8 {
-            return Err("truncated escape-table count".into());
+        if data.remaining() < 12 {
+            return Err("truncated trie header".into());
         }
-        let n_escape = data.get_u64_le() as usize;
-        let mut escape_table: FxHashMap<QuerySeq, (u64, u64)> = FxHashMap::default();
-        for _ in 0..n_escape {
-            let w = get_seq(&mut data)?;
-            if data.remaining() < 16 {
-                return Err("truncated escape entry".into());
-            }
-            let total = data.get_u64_le();
-            let at_start = data.get_u64_le();
-            escape_table.insert(w, (total, at_start));
+        let window_len = data.get_u32_le();
+        let n_rows = data.get_u64_le() as usize;
+        // checked: a corrupt count must produce Err, not an overflow panic
+        // or a capacity-overflow abort in the collect below.
+        let rows_bytes = n_rows.checked_mul(24).ok_or("trie row count overflows")?;
+        if data.remaining() < rows_bytes {
+            return Err("truncated trie rows".into());
         }
+        let rows: Vec<(u32, u32, u64, u64)> = (0..n_rows)
+            .map(|_| {
+                let parent = data.get_u32_le();
+                let key = data.get_u32_le();
+                let total = data.get_u64_le();
+                let at_start = data.get_u64_le();
+                (parent, key, total, at_start)
+            })
+            .collect();
+        let windows = SuffixTrie::from_parts(window_len, &rows)?;
 
         Ok(Vmm {
             pst,
-            escape_table,
+            windows,
             total_sessions,
             total_occurrences,
             n_queries,
@@ -192,9 +206,16 @@ mod tests {
         assert_eq!(restored.name(), original.name());
         assert_eq!(restored.n_queries(), original.n_queries());
         assert_eq!(restored.config(), original.config());
+        assert_eq!(restored.window_trie(), original.window_trie());
 
         // Identical probabilities, escapes, recommendations, scores.
-        for ctx in [&[][..], &seq(&[0]), &seq(&[1]), &seq(&[1, 0]), &seq(&[1, 1])] {
+        for ctx in [
+            &[][..],
+            &seq(&[0]),
+            &seq(&[1]),
+            &seq(&[1, 0]),
+            &seq(&[1, 1]),
+        ] {
             for q in [QueryId(0), QueryId(1), QueryId(7)] {
                 assert_eq!(original.cond_prob(ctx, q), restored.cond_prob(ctx, q));
                 assert_eq!(
@@ -221,10 +242,7 @@ mod tests {
     fn roundtrip_on_simulated_corpus() {
         let logs = sqp_logsim::generate(&sqp_logsim::SimConfig::small(3_000, 500, 21));
         let p = sqp_sessions::process(&logs, &sqp_sessions::PipelineConfig::default());
-        let original = Vmm::train(
-            &p.train.aggregated.sessions,
-            VmmConfig::bounded(3, 0.02),
-        );
+        let original = Vmm::train(&p.train.aggregated.sessions, VmmConfig::bounded(3, 0.02));
         let restored = Vmm::from_bytes(original.to_bytes()).unwrap();
         assert_eq!(restored.node_count(), original.node_count());
         for e in p.ground_truth.entries.iter().take(200) {
@@ -274,6 +292,7 @@ mod tests {
                 epsilon: 0.3,
                 max_depth: Some(1),
                 min_support: 4,
+                ..VmmConfig::default()
             },
         ] {
             let m = Vmm::train(&toy_corpus(), cfg);

@@ -2,11 +2,13 @@
 //!
 //! Nodes are labelled with contexts (query sequences read chronologically);
 //! the parent of state `[q1,…,ql]` is its *suffix* `[q2,…,ql]` — walking down
-//! from the root prepends ever-older queries. Longest-suffix lookup is O(D),
-//! the paper's prediction-time bound.
+//! from the root prepends ever-older queries. Longest-suffix lookup is
+//! O(D·log m), the paper's prediction-time bound with a binary-searched
+//! sorted child slice per node (no hashing, no allocation on the serve
+//! path).
 
 use sqp_common::topk::Scored;
-use sqp_common::{FxHashMap, QueryId, QuerySeq};
+use sqp_common::{QueryId, QuerySeq};
 
 /// A smoothed next-query distribution attached to a PST node.
 ///
@@ -15,23 +17,57 @@ use sqp_common::{FxHashMap, QueryId, QuerySeq};
 /// queries out of |Q| the normalizer is `Z = 1 + (|Q|−m)/|Q|`; when every
 /// query is observed (the toy example) Z = 1 and the ML estimates survive
 /// untouched.
+///
+/// Layout: raw ML counts are stored **sorted by query id**, so `prob` /
+/// `ml_prob` are O(log m) binary searches; a parallel rank array keeps the
+/// best-first order for top-k without re-sorting at query time.
 #[derive(Clone, Debug)]
 pub struct NodeDist {
-    /// Observed continuations with smoothed probabilities, best first.
-    entries: Box<[(QueryId, f64)]>,
-    /// Raw ML counts, kept for diagnostics and KL computations.
-    raw: Box<[(QueryId, u64)]>,
+    /// Raw ML counts, ascending by query id.
+    by_id: Box<[(QueryId, u64)]>,
+    /// Indexes into `by_id`, best first (descending smoothed probability,
+    /// ties by ascending id).
+    rank: Box<[u32]>,
     /// Total observed continuation mass.
     total: u64,
+    /// Smoothing normalizer Z.
+    z: f64,
     /// Smoothed probability of each individual unobserved query.
     unobserved_prob: f64,
 }
 
 impl NodeDist {
-    /// Build from ML counts sorted descending, with universe size `n_queries`.
+    /// Build from ML counts in any order, with universe size `n_queries`.
     pub fn from_counts(counts: Vec<(QueryId, u64)>, n_queries: usize) -> Self {
-        let total: u64 = counts.iter().map(|(_, c)| c).sum();
-        let m = counts.len();
+        let mut by_id = counts;
+        by_id.sort_unstable_by_key(|&(q, _)| q);
+        by_id.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 += a.1;
+                true
+            } else {
+                false
+            }
+        });
+        Self::from_sorted(by_id.into_boxed_slice(), n_queries)
+    }
+
+    /// Build straight from the arena's id-sorted parallel slices — the
+    /// training fast path (no intermediate descending sort).
+    pub fn from_sorted_slices(queries: &[QueryId], counts: &[u64], n_queries: usize) -> Self {
+        debug_assert_eq!(queries.len(), counts.len());
+        debug_assert!(queries.windows(2).all(|w| w[0] < w[1]));
+        let by_id: Box<[(QueryId, u64)]> = queries
+            .iter()
+            .copied()
+            .zip(counts.iter().copied())
+            .collect();
+        Self::from_sorted(by_id, n_queries)
+    }
+
+    fn from_sorted(by_id: Box<[(QueryId, u64)]>, n_queries: usize) -> Self {
+        let total: u64 = by_id.iter().map(|(_, c)| c).sum();
+        let m = by_id.len();
         let nq = n_queries.max(m).max(1);
         let z = 1.0 + (nq - m) as f64 / nq as f64;
         let unobserved_prob = if total == 0 {
@@ -40,56 +76,75 @@ impl NodeDist {
         } else {
             (1.0 / nq as f64) / z
         };
-        let entries: Box<[(QueryId, f64)]> = counts
-            .iter()
-            .map(|&(q, c)| (q, (c as f64 / total.max(1) as f64) / z))
-            .collect();
+        let mut rank: Box<[u32]> = (0..m as u32).collect();
+        rank.sort_unstable_by(|&a, &b| {
+            let (qa, ca) = by_id[a as usize];
+            let (qb, cb) = by_id[b as usize];
+            cb.cmp(&ca).then_with(|| qa.cmp(&qb))
+        });
         NodeDist {
-            entries,
-            raw: counts.into_boxed_slice(),
+            by_id,
+            rank,
             total,
+            z,
             unobserved_prob,
         }
     }
 
-    /// Smoothed `P(q | this context)`.
+    #[inline]
+    fn smooth(&self, count: u64) -> f64 {
+        (count as f64 / self.total.max(1) as f64) / self.z
+    }
+
+    /// Smoothed `P(q | this context)` — O(log m) binary search.
+    #[inline]
     pub fn prob(&self, q: QueryId) -> f64 {
-        self.entries
-            .iter()
-            .find(|(e, _)| *e == q)
-            .map(|(_, p)| *p)
-            .unwrap_or(self.unobserved_prob)
+        match self.by_id.binary_search_by_key(&q, |&(e, _)| e) {
+            Ok(i) => self.smooth(self.by_id[i].1),
+            Err(_) => self.unobserved_prob,
+        }
     }
 
     /// Raw ML probability (0 for unobserved), used by the KL growth test.
+    #[inline]
     pub fn ml_prob(&self, q: QueryId) -> f64 {
         if self.total == 0 {
             return 0.0;
         }
-        self.raw
-            .iter()
-            .find(|(e, _)| *e == q)
-            .map(|(_, c)| *c as f64 / self.total as f64)
-            .unwrap_or(0.0)
+        match self.by_id.binary_search_by_key(&q, |&(e, _)| e) {
+            Ok(i) => self.by_id[i].1 as f64 / self.total as f64,
+            Err(_) => 0.0,
+        }
     }
 
     /// Top-k observed continuations by smoothed probability.
     pub fn top_k(&self, k: usize) -> Vec<Scored> {
-        self.entries
-            .iter()
-            .take(k)
-            .map(|&(q, p)| Scored::new(q, p))
-            .collect()
+        let mut out = Vec::with_capacity(k.min(self.rank.len()));
+        self.top_k_into(k, &mut out);
+        out
+    }
+
+    /// Top-k into a caller-owned buffer (cleared first) — the allocation-free
+    /// serve path when the buffer is reused across requests.
+    pub fn top_k_into(&self, k: usize, out: &mut Vec<Scored>) {
+        out.clear();
+        for &i in self.rank.iter().take(k) {
+            let (q, c) = self.by_id[i as usize];
+            out.push(Scored::new(q, self.smooth(c)));
+        }
     }
 
     /// Observed continuations `(query, smoothed prob)`, best first.
-    pub fn observed(&self) -> &[(QueryId, f64)] {
-        &self.entries
+    pub fn observed(&self) -> impl Iterator<Item = (QueryId, f64)> + '_ {
+        self.rank.iter().map(|&i| {
+            let (q, c) = self.by_id[i as usize];
+            (q, self.smooth(c))
+        })
     }
 
-    /// Raw ML counts, best first.
+    /// Raw ML counts, ascending by query id.
     pub fn raw_counts(&self) -> &[(QueryId, u64)] {
-        &self.raw
+        &self.by_id
     }
 
     /// Total observed continuation mass.
@@ -97,14 +152,19 @@ impl NodeDist {
         self.total
     }
 
+    /// Number of observed continuations.
+    pub fn support(&self) -> usize {
+        self.by_id.len()
+    }
+
     /// True when the node has no continuation evidence.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.by_id.is_empty()
     }
 
     fn heap_bytes(&self) -> usize {
-        self.entries.len() * std::mem::size_of::<(QueryId, f64)>()
-            + self.raw.len() * std::mem::size_of::<(QueryId, u64)>()
+        self.by_id.len() * std::mem::size_of::<(QueryId, u64)>()
+            + self.rank.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -115,8 +175,8 @@ pub struct PstNode {
     pub context: QuerySeq,
     /// Next-query distribution.
     pub dist: NodeDist,
-    /// Child edges: the next-older query → node index.
-    children: FxHashMap<QueryId, u32>,
+    /// Child edges `(next-older query, node index)`, sorted by query id.
+    children: Vec<(QueryId, u32)>,
     /// Parent node index (None at the root).
     pub parent: Option<u32>,
 }
@@ -135,7 +195,7 @@ impl Pst {
             nodes: vec![PstNode {
                 context: Box::from([]),
                 dist: root_dist,
-                children: FxHashMap::default(),
+                children: Vec::new(),
                 parent: None,
             }],
         }
@@ -166,6 +226,15 @@ impl Pst {
         self.nodes.iter()
     }
 
+    #[inline]
+    fn child_of(&self, idx: u32, q: QueryId) -> Option<u32> {
+        let children = &self.nodes[idx as usize].children;
+        children
+            .binary_search_by_key(&q, |&(e, _)| e)
+            .ok()
+            .map(|i| children[i].1)
+    }
+
     /// Insert a state. The parent (its one-shorter suffix) must already be
     /// present — the VMM trainer inserts states in ascending length order,
     /// which guarantees this because the state set is suffix-closed.
@@ -185,11 +254,14 @@ impl Pst {
         self.nodes.push(PstNode {
             context,
             dist,
-            children: FxHashMap::default(),
+            children: Vec::new(),
             parent: Some(parent_idx),
         });
-        let prev = self.nodes[parent_idx as usize].children.insert(edge, idx);
-        debug_assert!(prev.is_none(), "duplicate state insertion");
+        let children = &mut self.nodes[parent_idx as usize].children;
+        match children.binary_search_by_key(&edge, |&(e, _)| e) {
+            Ok(_) => debug_assert!(false, "duplicate state insertion"),
+            Err(pos) => children.insert(pos, (edge, idx)),
+        }
         idx
     }
 
@@ -199,8 +271,8 @@ impl Pst {
         let mut idx = 0u32;
         let mut matched = 0usize;
         for i in (0..context.len()).rev() {
-            match self.nodes[idx as usize].children.get(&context[i]) {
-                Some(&child) => {
+            match self.child_of(idx, context[i]) {
+                Some(child) => {
                     idx = child;
                     matched += 1;
                 }
@@ -228,8 +300,7 @@ impl Pst {
         for n in &self.nodes {
             bytes += n.context.len() * std::mem::size_of::<QueryId>();
             bytes += n.dist.heap_bytes();
-            bytes += n.children.len()
-                * (std::mem::size_of::<(QueryId, u32)>() + sqp_common::mem::HASH_ENTRY_OVERHEAD);
+            bytes += n.children.capacity() * std::mem::size_of::<(QueryId, u32)>();
         }
         bytes
     }
@@ -241,10 +312,7 @@ mod tests {
     use sqp_common::seq;
 
     fn dist(pairs: &[(u32, u64)], nq: usize) -> NodeDist {
-        NodeDist::from_counts(
-            pairs.iter().map(|&(q, c)| (QueryId(q), c)).collect(),
-            nq,
-        )
+        NodeDist::from_counts(pairs.iter().map(|&(q, c)| (QueryId(q), c)).collect(), nq)
     }
 
     fn toy_tree() -> Pst {
@@ -325,6 +393,30 @@ mod tests {
         assert_eq!(top.len(), 2);
         assert_eq!(top[0].query, QueryId(5));
         assert_eq!(top[1].query, QueryId(2));
+        // Reused buffer gets the same answer.
+        let mut buf = Vec::new();
+        d.top_k_into(2, &mut buf);
+        assert_eq!(buf, top);
+    }
+
+    #[test]
+    fn raw_counts_are_id_sorted() {
+        let d = dist(&[(9, 10), (2, 20), (5, 70)], 10);
+        let ids: Vec<u32> = d.raw_counts().iter().map(|(q, _)| q.0).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+        // Best-first iteration still ranks by probability.
+        let ranked: Vec<u32> = d.observed().map(|(q, _)| q.0).collect();
+        assert_eq!(ranked, vec![5, 2, 9]);
+    }
+
+    #[test]
+    fn from_sorted_slices_matches_from_counts() {
+        let a = NodeDist::from_sorted_slices(&[QueryId(1), QueryId(4)], &[3, 9], 6);
+        let b = dist(&[(4, 9), (1, 3)], 6);
+        for q in 0..6 {
+            assert_eq!(a.prob(QueryId(q)), b.prob(QueryId(q)));
+            assert_eq!(a.ml_prob(QueryId(q)), b.ml_prob(QueryId(q)));
+        }
     }
 
     #[test]

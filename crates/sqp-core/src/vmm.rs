@@ -2,27 +2,30 @@
 //! §IV-B of the paper.
 //!
 //! Training (three stages, §IV-B.1):
-//! * **(a)** extract candidate suffix contexts `S′` from window counts
+//! * **(a)** extract candidate suffix contexts `S′` from the window trie
 //!   (length ≤ D, continuation support ≥ the filter threshold);
 //! * **(b)** grow the PST: every length-1 candidate is added; a longer
 //!   candidate `s` is added — together with all its suffixes, keeping the
 //!   state set suffix-closed — iff `D_KL(P(·|parent(s)) ‖ P(·|s)) > ε`
 //!   in base 10, where `parent(s) = s[1..]`. Both the divergence direction
 //!   and the log base are pinned by the paper's published numbers
-//!   (0.3449 / 0.0837 for the Table II corpus);
+//!   (0.3449 / 0.0837 for the Table II corpus). The divergence is computed
+//!   by a merged walk over the two id-sorted continuation slices borrowed
+//!   from the arena — no per-candidate hash map is built;
 //! * **(c)** smooth every node distribution with the constant 1/|Q| for
 //!   unobserved queries and renormalize.
 //!
-//! Prediction walks the longest matching suffix in O(D). The context-escape
-//! mechanism of Eq. (5)–(6) is exposed for the MVMM mixture (for a single
-//! VMM the paper notes escaping is "pointless" — renormalization cancels it).
+//! Prediction walks the longest matching suffix in O(D·log m) with no
+//! allocation. The context-escape mechanism of Eq. (5)–(6) is served by the
+//! same window trie the counts were collected in (the trained model keeps
+//! the frozen arena as its escape table).
 
-use crate::counts::WindowCounts;
+use crate::counts::{escape_prob_in, WindowCounts};
 use crate::model::{Recommender, SequenceScorer, WeightedSessions};
 use crate::pst::{NodeDist, Pst};
-use sqp_common::math::kl_divergence_base10;
+use sqp_common::arena::SuffixTrie;
 use sqp_common::topk::Scored;
-use sqp_common::{FxHashMap, FxHashSet, QueryId, QuerySeq};
+use sqp_common::{FxHashSet, QueryId, QuerySeq};
 
 /// VMM training parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -34,6 +37,10 @@ pub struct VmmConfig {
     pub max_depth: Option<usize>,
     /// Minimum continuation support for a candidate context.
     pub min_support: u64,
+    /// Shard window counting across threads. Results are bit-identical to
+    /// sequential training (the arena layout is canonical), so this is
+    /// purely a throughput knob; tiny corpora ignore it.
+    pub parallel: bool,
 }
 
 impl Default for VmmConfig {
@@ -42,6 +49,7 @@ impl Default for VmmConfig {
             epsilon: 0.05,
             max_depth: None,
             min_support: 1,
+            parallel: false,
         }
     }
 }
@@ -60,8 +68,14 @@ impl VmmConfig {
         Self {
             epsilon,
             max_depth: Some(max_depth),
-            min_support: 1,
+            ..Self::default()
         }
+    }
+
+    /// Enable (or disable) parallel counting.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
     }
 
     /// Display name in the paper's style: "VMM (0.05)", "2-bounded VMM (0.1)".
@@ -76,9 +90,9 @@ impl VmmConfig {
 /// A trained VMM.
 pub struct Vmm {
     pub(crate) pst: Pst,
-    /// window → (total occurrences, occurrences at session start); drives the
-    /// escape probabilities of Eq. (6).
-    pub(crate) escape_table: FxHashMap<QuerySeq, (u64, u64)>,
+    /// The frozen window trie: per-window (total, at-start) counts driving
+    /// the escape probabilities of Eq. (6).
+    pub(crate) windows: SuffixTrie,
     pub(crate) total_sessions: u64,
     pub(crate) total_occurrences: u64,
     pub(crate) n_queries: usize,
@@ -86,46 +100,109 @@ pub struct Vmm {
     pub(crate) name: String,
 }
 
+/// `D_KL(P ‖ Q)` in base 10 by a merged walk over two id-sorted count
+/// slices. `P` is the parent's continuation distribution; queries the child
+/// never observed are floored at `q_floor`.
+fn kl_counts_base10(
+    parent: (&[QueryId], &[u64]),
+    parent_total: u64,
+    child: (&[QueryId], &[u64]),
+    child_total: u64,
+    q_floor: f64,
+) -> f64 {
+    let (pk, pc) = parent;
+    let (ck, cc) = child;
+    let pt = parent_total as f64;
+    let ct = child_total as f64;
+    let mut d = 0.0;
+    let mut j = 0usize;
+    for (i, &q) in pk.iter().enumerate() {
+        while j < ck.len() && ck[j] < q {
+            j += 1;
+        }
+        let child_count = if j < ck.len() && ck[j] == q { cc[j] } else { 0 };
+        let p = pc[i] as f64 / pt;
+        if p > 0.0 {
+            let qv = (child_count as f64 / ct).max(q_floor);
+            d += p * (p / qv).log10();
+        }
+    }
+    d
+}
+
 impl Vmm {
     /// Train on weighted sessions.
     pub fn train(sessions: &WeightedSessions, config: VmmConfig) -> Self {
-        let counts = WindowCounts::build(sessions, config.max_depth);
+        let counts = WindowCounts::build_with(sessions, config.max_depth, config.parallel);
+        Self::train_from_counts(counts, config)
+    }
+
+    /// Train from pre-built window counts. The counts **must** have been
+    /// built with the same `max_depth` as `config` — mixtures use this to
+    /// count the corpus once and train many components off the shared trie
+    /// (the ε threshold only affects stage (b), not the counts).
+    pub fn train_with_counts(counts: &WindowCounts, config: VmmConfig) -> Self {
+        let pst = Self::grow_pst(counts, config);
+        Self::assemble(pst, counts.trie().clone(), counts, config)
+    }
+
+    fn train_from_counts(counts: WindowCounts, config: VmmConfig) -> Self {
+        let pst = Self::grow_pst(&counts, config);
+        let (total_sessions, total_occurrences, n_queries) = (
+            counts.total_sessions,
+            counts.total_occurrences,
+            counts.n_queries.max(1),
+        );
+        Vmm {
+            pst,
+            windows: counts.into_trie(),
+            total_sessions,
+            total_occurrences,
+            n_queries,
+            name: config.display_name(),
+            config,
+        }
+    }
+
+    fn assemble(pst: Pst, windows: SuffixTrie, counts: &WindowCounts, config: VmmConfig) -> Self {
+        Vmm {
+            pst,
+            windows,
+            total_sessions: counts.total_sessions,
+            total_occurrences: counts.total_occurrences,
+            n_queries: counts.n_queries.max(1),
+            name: config.display_name(),
+            config,
+        }
+    }
+
+    /// Stages (a)–(c): candidate extraction, KL growth, smoothing.
+    fn grow_pst(counts: &WindowCounts, config: VmmConfig) -> Pst {
         let n_queries = counts.n_queries.max(1);
+        let trie = counts.trie();
 
-        // Stage (a): candidates, shortest first (parents precede children).
-        let candidates = counts.candidates(config.min_support);
-
-        // Stage (b): decide the suffix-closed state set.
+        // Stages (a) + (b): decide the suffix-closed state set, walking the
+        // candidate nodes in (length, sequence) order — the trie's canonical
+        // id order — so parents are decided before children.
         let mut states: FxHashSet<QuerySeq> = FxHashSet::default();
-        for cand in &candidates {
-            if cand.len() == 1 {
-                states.insert(cand.clone());
+        let mut path: Vec<QueryId> = Vec::new();
+        for node in counts.candidate_nodes(config.min_support) {
+            if trie.depth(node) == 1 {
+                states.insert(Box::from([trie.key(node)]));
                 continue;
             }
-            if states.contains(cand) {
+            trie.path(node, &mut path);
+            if states.contains(path.as_slice()) {
                 continue; // already pulled in as a suffix of a deeper state
             }
-            let parent = &cand[1..];
-            let parent_counts = counts.ml_counts(parent);
-            let child_counts = counts.ml_counts(cand);
-            let parent_total: u64 = parent_counts.iter().map(|(_, c)| c).sum();
-            let child_total: u64 = child_counts.iter().map(|(_, c)| c).sum();
+            let parent = trie
+                .find(&path[1..])
+                .expect("suffix of an observed window is observed");
+            let parent_total = trie.cont_total(parent);
+            let child_total = trie.cont_total(node);
             if parent_total == 0 || child_total == 0 {
                 continue;
             }
-            // Aligned probability vectors over the parent's support (the
-            // child's support is a subset of the parent's).
-            let child_map: FxHashMap<QueryId, u64> = child_counts.iter().copied().collect();
-            let p: Vec<f64> = parent_counts
-                .iter()
-                .map(|(_, c)| *c as f64 / parent_total as f64)
-                .collect();
-            let q: Vec<f64> = parent_counts
-                .iter()
-                .map(|(qid, _)| {
-                    child_map.get(qid).copied().unwrap_or(0) as f64 / child_total as f64
-                })
-                .collect();
             // Floor for parent-supported queries the child never observed:
             // one pseudo-count relative to the child's evidence. A global
             // 1/|Q| floor would blow the divergence up for every
@@ -133,10 +210,16 @@ impl Vmm {
             // inoperative; the paper's toy corpus has full support at every
             // node, so this choice leaves its pinned numbers untouched.
             let q_floor = 1.0 / (child_total as f64 + 1.0);
-            let d = kl_divergence_base10(&p, &q, q_floor);
+            let d = kl_counts_base10(
+                trie.continuations(parent),
+                parent_total,
+                trie.continuations(node),
+                child_total,
+                q_floor,
+            );
             if d > config.epsilon {
                 // Add the candidate and its whole suffix chain.
-                let mut suffix: &[QueryId] = cand;
+                let mut suffix: &[QueryId] = &path;
                 while !suffix.is_empty() {
                     states.insert(suffix.into());
                     suffix = &suffix[1..];
@@ -147,27 +230,19 @@ impl Vmm {
         // Stage (c): materialize the tree with smoothed distributions.
         let mut ordered: Vec<QuerySeq> = states.into_iter().collect();
         ordered.sort_unstable_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
-        let mut pst = Pst::new(NodeDist::from_counts(
-            counts.root_counts().sorted_desc(),
+        let (root_keys, root_counts) = counts.root_continuations();
+        let mut pst = Pst::new(NodeDist::from_sorted_slices(
+            root_keys,
+            root_counts,
             n_queries,
         ));
         for s in ordered {
-            let dist = NodeDist::from_counts(counts.ml_counts(&s), n_queries);
+            let node = trie.find(&s).expect("state is an observed window");
+            let (keys, cnts) = trie.continuations(node);
+            let dist = NodeDist::from_sorted_slices(keys, cnts, n_queries);
             pst.insert(s, dist);
         }
-
-        let name = config.display_name();
-        let total_sessions = counts.total_sessions;
-        let total_occurrences = counts.total_occurrences;
-        Vmm {
-            pst,
-            escape_table: counts.into_escape_table(),
-            total_sessions,
-            total_occurrences,
-            n_queries,
-            config,
-            name,
-        }
+        pst
     }
 
     /// Number of PST nodes including the root (Table VII metric).
@@ -178,6 +253,11 @@ impl Vmm {
     /// The underlying tree.
     pub fn pst(&self) -> &Pst {
         &self.pst
+    }
+
+    /// The frozen window trie (escape table).
+    pub fn window_trie(&self) -> &SuffixTrie {
+        &self.windows
     }
 
     /// Training configuration.
@@ -200,20 +280,12 @@ impl Vmm {
     /// Escape probability of Eq. (6) for context `s` (see
     /// [`WindowCounts::escape_prob`] for the derivation).
     pub fn escape_prob(&self, s: &[QueryId]) -> f64 {
-        debug_assert!(!s.is_empty());
-        let suffix = &s[1..];
-        if suffix.is_empty() {
-            let den = self.total_occurrences + self.total_sessions;
-            if den == 0 {
-                return 1.0;
-            }
-            return (self.total_sessions as f64 / den as f64).max(1e-6);
-        }
-        match self.escape_table.get(suffix) {
-            None => 1.0,
-            Some(&(0, _)) => 1.0,
-            Some(&(total, at_start)) => (at_start as f64 / total as f64).max(1e-6),
-        }
+        escape_prob_in(
+            &self.windows,
+            self.total_sessions,
+            self.total_occurrences,
+            s,
+        )
     }
 
     /// `P(q | context)` by longest-suffix matching **without** escape — the
@@ -247,9 +319,35 @@ impl Vmm {
     pub fn sequence_log10_prob_escaped(&self, seq: &[QueryId]) -> f64 {
         let mut lp = 0.0;
         for i in 1..seq.len() {
-            lp += self.cond_prob_escaped(&seq[..i], seq[i]).max(1e-300).log10();
+            lp += self
+                .cond_prob_escaped(&seq[..i], seq[i])
+                .max(1e-300)
+                .log10();
         }
         lp
+    }
+
+    /// Top-k into a caller-owned buffer (cleared first). With a reused
+    /// buffer the whole serve path — suffix match, distribution lookup,
+    /// top-k — performs **zero heap allocations**.
+    pub fn recommend_into(&self, context: &[QueryId], k: usize, out: &mut Vec<Scored>) {
+        out.clear();
+        let Some((mut idx, _)) = self.match_state(context) else {
+            return;
+        };
+        // Defensive: walk toward the root if a state lacks evidence (cannot
+        // happen with the growth rule, but keeps the API total).
+        loop {
+            let node = self.pst.node(idx);
+            if !node.dist.is_empty() {
+                node.dist.top_k_into(k, out);
+                return;
+            }
+            match node.parent {
+                Some(p) if p != 0 => idx = p,
+                _ => return,
+            }
+        }
     }
 }
 
@@ -259,21 +357,9 @@ impl Recommender for Vmm {
     }
 
     fn recommend(&self, context: &[QueryId], k: usize) -> Vec<Scored> {
-        let Some((mut idx, _)) = self.match_state(context) else {
-            return Vec::new();
-        };
-        // Defensive: walk toward the root if a state lacks evidence (cannot
-        // happen with the growth rule, but keeps the API total).
-        loop {
-            let node = self.pst.node(idx);
-            if !node.dist.is_empty() {
-                return node.dist.top_k(k);
-            }
-            match node.parent {
-                Some(p) if p != 0 => idx = p,
-                _ => return Vec::new(),
-            }
-        }
+        let mut out = Vec::new();
+        self.recommend_into(context, k, &mut out);
+        out
     }
 
     fn covers(&self, context: &[QueryId]) -> bool {
@@ -281,15 +367,7 @@ impl Recommender for Vmm {
     }
 
     fn memory_bytes(&self) -> usize {
-        let table: usize = self
-            .escape_table.keys().map(|w| {
-                w.len() * std::mem::size_of::<QueryId>()
-                    + std::mem::size_of::<QuerySeq>()
-                    + std::mem::size_of::<(u64, u64)>()
-                    + sqp_common::mem::HASH_ENTRY_OVERHEAD
-            })
-            .sum();
-        self.pst.heap_bytes() + table
+        self.pst.heap_bytes() + self.windows.heap_bytes()
     }
 }
 
@@ -364,7 +442,7 @@ mod tests {
         // ε = +∞: Adjacency-like 2-gram (only length-1 states).
         let wide = Vmm::train(&toy_corpus(), VmmConfig::with_epsilon(f64::INFINITY));
         assert_eq!(wide.node_count(), 3); // root + q0 + q1
-        // ε = 0: infinitely bounded VMM — every candidate becomes a state.
+                                          // ε = 0: infinitely bounded VMM — every candidate becomes a state.
         let full = Vmm::train(&toy_corpus(), VmmConfig::with_epsilon(0.0));
         assert_eq!(full.node_count(), 5); // root + q0 + q1 + q1q0 + q0q1
         assert!(full.pst().contains(&seq(&[0, 1])));
@@ -394,8 +472,8 @@ mod tests {
             &toy_corpus(),
             VmmConfig {
                 epsilon: 0.0,
-                max_depth: None,
                 min_support: 5,
+                ..VmmConfig::default()
             },
         );
         assert!(!m.pst().contains(&seq(&[0, 1])));
@@ -421,9 +499,7 @@ mod tests {
         let m = toy_vmm();
         for ctx in [seq(&[0]), seq(&[1]), seq(&[1, 0])] {
             for q in [QueryId(0), QueryId(1)] {
-                assert!(
-                    (m.cond_prob(&ctx, q) - m.cond_prob_escaped(&ctx, q)).abs() < 1e-15
-                );
+                assert!((m.cond_prob(&ctx, q) - m.cond_prob_escaped(&ctx, q)).abs() < 1e-15);
             }
         }
     }
@@ -480,6 +556,31 @@ mod tests {
     }
 
     #[test]
+    fn parallel_training_equals_sequential() {
+        // Large enough corpus to cross the parallel threshold.
+        let mut sessions: Vec<(QuerySeq, u64)> = Vec::new();
+        for i in 0..4_000u32 {
+            let a = i % 11;
+            let b = (i * 5 + 2) % 11;
+            let c = (i * 3 + 7) % 11;
+            sessions.push((seq(&[a, b, c]), 1 + u64::from(i % 3)));
+        }
+        let serial = Vmm::train(&sessions, VmmConfig::with_epsilon(0.02));
+        let parallel = Vmm::train(&sessions, VmmConfig::with_epsilon(0.02).parallel(true));
+        assert_eq!(serial.node_count(), parallel.node_count());
+        assert_eq!(serial.window_trie(), parallel.window_trie());
+        for q in 0..11u32 {
+            let a = serial.recommend(&seq(&[q]), 5);
+            let b = parallel.recommend(&seq(&[q]), 5);
+            assert_eq!(a.len(), b.len(), "context [{q}]");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.query, y.query);
+                assert_eq!(x.score, y.score);
+            }
+        }
+    }
+
+    #[test]
     fn memory_accounting_positive_and_monotone() {
         let small = toy_vmm();
         let full = Vmm::train(&toy_corpus(), VmmConfig::with_epsilon(0.0));
@@ -496,79 +597,89 @@ mod tests {
 }
 
 #[cfg(test)]
-mod prop_tests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use sqp_common::rng::{Rng, StdRng};
 
-    fn arbitrary_corpus() -> impl Strategy<Value = Vec<(QuerySeq, u64)>> {
-        proptest::collection::vec(
-            (
-                proptest::collection::vec(0u32..6, 1..5),
-                1u64..20,
-            ),
-            1..25,
-        )
-        .prop_map(|raw| {
-            let mut map = std::collections::HashMap::new();
-            for (s, f) in raw {
-                let key: QuerySeq = s.into_iter().map(QueryId).collect();
-                *map.entry(key).or_insert(0) += f;
-            }
-            map.into_iter().collect()
-        })
+    fn arbitrary_corpus(rng: &mut StdRng) -> Vec<(QuerySeq, u64)> {
+        let n = rng.random_range(1usize..25);
+        let mut map = std::collections::HashMap::new();
+        for _ in 0..n {
+            let len = rng.random_range(1usize..5);
+            let s: QuerySeq = (0..len)
+                .map(|_| QueryId(rng.random_range(0u32..6)))
+                .collect();
+            *map.entry(s).or_insert(0u64) += rng.random_range(1u64..20);
+        }
+        map.into_iter().collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn state_set_is_suffix_closed(corpus in arbitrary_corpus(), eps in 0.0f64..0.2) {
+    #[test]
+    fn state_set_is_suffix_closed() {
+        for case in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(case);
+            let corpus = arbitrary_corpus(&mut rng);
+            let eps = rng.random::<f64>() * 0.2;
             let m = Vmm::train(&corpus, VmmConfig::with_epsilon(eps));
             for node in m.pst().iter() {
                 let mut s: &[QueryId] = &node.context;
                 while !s.is_empty() {
-                    prop_assert!(m.pst().contains(s), "suffix {s:?} missing");
+                    assert!(m.pst().contains(s), "case {case}: suffix {s:?} missing");
                     s = &s[1..];
                 }
             }
         }
+    }
 
-        #[test]
-        fn escape_probs_in_unit_interval(corpus in arbitrary_corpus()) {
+    #[test]
+    fn escape_probs_in_unit_interval() {
+        for case in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(100 + case);
+            let corpus = arbitrary_corpus(&mut rng);
             let m = Vmm::train(&corpus, VmmConfig::default());
             for q1 in 0..7u32 {
                 for q2 in 0..7u32 {
                     let e = m.escape_prob(&sqp_common::seq(&[q1, q2]));
-                    prop_assert!((0.0..=1.0).contains(&e), "escape {e}");
+                    assert!((0.0..=1.0).contains(&e), "case {case}: escape {e}");
                 }
             }
         }
+    }
 
-        #[test]
-        fn conditionals_sum_to_one(corpus in arbitrary_corpus()) {
+    #[test]
+    fn conditionals_sum_to_one() {
+        for case in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(200 + case);
+            let corpus = arbitrary_corpus(&mut rng);
             let m = Vmm::train(&corpus, VmmConfig::with_epsilon(0.01));
             // The smoothed distribution sums to 1 over the query universe Q
             // actually observed in training (ids need not be dense).
-            let universe: std::collections::BTreeSet<QueryId> = corpus
-                .iter()
-                .flat_map(|(s, _)| s.iter().copied())
-                .collect();
-            prop_assert_eq!(universe.len(), m.n_queries());
+            let universe: std::collections::BTreeSet<QueryId> =
+                corpus.iter().flat_map(|(s, _)| s.iter().copied()).collect();
+            assert_eq!(universe.len(), m.n_queries(), "case {case}");
             // Check a handful of contexts, including unmatched ones.
             for ctx in [&[][..], &sqp_common::seq(&[0]), &sqp_common::seq(&[1, 2])] {
                 let total: f64 = universe.iter().map(|&q| m.cond_prob(ctx, q)).sum();
-                prop_assert!((total - 1.0).abs() < 1e-6, "ctx {ctx:?} -> {total}");
+                assert!(
+                    (total - 1.0).abs() < 1e-6,
+                    "case {case}: ctx {ctx:?} -> {total}"
+                );
             }
         }
+    }
 
-        #[test]
-        fn recommendations_sorted_and_bounded(corpus in arbitrary_corpus(), k in 1usize..6) {
+    #[test]
+    fn recommendations_sorted_and_bounded() {
+        for case in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(300 + case);
+            let corpus = arbitrary_corpus(&mut rng);
+            let k = rng.random_range(1usize..6);
             let m = Vmm::train(&corpus, VmmConfig::default());
             for q in 0..6u32 {
                 let recs = m.recommend(&sqp_common::seq(&[q]), k);
-                prop_assert!(recs.len() <= k);
+                assert!(recs.len() <= k, "case {case}");
                 for w in recs.windows(2) {
-                    prop_assert!(w[0].score >= w[1].score);
+                    assert!(w[0].score >= w[1].score, "case {case}");
                 }
             }
         }

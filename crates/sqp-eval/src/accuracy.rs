@@ -7,8 +7,8 @@
 //! accuracy (Fig 8) while its coverage collapses (Fig 11).
 
 use crate::ndcg::ndcg_at;
-use sqp_core::Recommender;
 use sqp_common::QueryId;
+use sqp_core::Recommender;
 use sqp_sessions::GroundTruth;
 
 /// Accuracy of one model at one context length.

@@ -120,9 +120,7 @@ pub fn reason_analysis(
         vmm.add(ordered, s); // VMM/MVMM coverage is structurally Adjacency's
         let ngram_reason = match ordered {
             Some(r) => Some(r),
-            None if !ngram.has_state(&e.context) => {
-                Some(UnpredictableReason::ContextNotTrained)
-            }
+            None if !ngram.has_state(&e.context) => Some(UnpredictableReason::ContextNotTrained),
             None => None,
         };
         ng.add(ngram_reason, s);
@@ -201,10 +199,8 @@ mod tests {
     #[test]
     fn reason_table_structure() {
         let gt = test_truth();
-        let index = sqp_sessions::QueryTrainingIndex::build(
-            &Aggregated::from_weighted(train_corpus()),
-            3,
-        );
+        let index =
+            sqp_sessions::QueryTrainingIndex::build(&Aggregated::from_weighted(train_corpus()), 3);
         let ngram = sqp_core::NGram::train(&train_corpus());
         let rows = reason_analysis(&gt, &index, &ngram);
         assert_eq!(rows.len(), 4);

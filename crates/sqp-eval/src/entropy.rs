@@ -28,14 +28,14 @@ pub fn entropy_by_context_length(
 ) -> Vec<EntropyPoint> {
     let counts = WindowCounts::build(sessions, Some(max_len));
     let mut acc: Vec<(f64, u64, usize)> = vec![(0.0, 0, 0); max_len + 1];
-    for w in counts.candidates(1) {
-        let len = w.len();
+    for node in counts.candidate_nodes(1) {
+        let len = counts.trie().depth(node);
         if len > max_len {
             continue;
         }
-        let entry = counts.entry(&w).expect("candidate must be observed");
-        let weight = entry.next.total();
-        let h = entropy_of_counts(entry.next.iter().map(|(_, c)| c));
+        let entry = counts.entry_at(node);
+        let weight = entry.next_total();
+        let h = entropy_of_counts(entry.next_iter().map(|(_, c)| c));
         acc[len].0 += h * weight as f64;
         acc[len].1 += weight;
         acc[len].2 += 1;
@@ -63,10 +63,10 @@ mod tests {
         // "Java" alone is ambiguous (60/40 split); with "Indonesia" before
         // it, the split is 9/1 — entropy must drop.
         let corpus = vec![
-            (seq(&[0, 1]), 60),     // java -> sun java
-            (seq(&[0, 2]), 40),     // java -> java island
-            (seq(&[3, 0, 2]), 9),   // indonesia -> java -> java island
-            (seq(&[3, 0, 1]), 1),   // indonesia -> java -> sun java
+            (seq(&[0, 1]), 60),   // java -> sun java
+            (seq(&[0, 2]), 40),   // java -> java island
+            (seq(&[3, 0, 2]), 9), // indonesia -> java -> java island
+            (seq(&[3, 0, 1]), 1), // indonesia -> java -> sun java
         ];
         let pts = entropy_by_context_length(&corpus, 2);
         assert_eq!(pts.len(), 2);

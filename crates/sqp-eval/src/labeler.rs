@@ -165,7 +165,7 @@ mod tests {
         let v = vocab();
         let oracle = LabelerOracle::new(&v);
         let t = v.iter().next().unwrap();
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+        let mut rng = sqp_common::rng::StdRng::seed_from_u64(5);
         let typo = v.misspell(&t.query, &mut rng);
         assert!(oracle.approve(&typo, &t.query), "{typo} -> {}", t.query);
     }

@@ -5,8 +5,8 @@
 //! make the library useful beyond the reproduction (and give the integration
 //! tests a second, independent lens on the same orderings).
 
-use sqp_core::Recommender;
 use sqp_common::QueryId;
+use sqp_core::Recommender;
 use sqp_sessions::GroundTruth;
 
 /// Reciprocal rank of the best ground-truth continuation in `predicted`

@@ -71,7 +71,13 @@ mod tests {
     }
 
     fn truth() -> Vec<(QueryId, u64)> {
-        vec![(q(10), 50), (q(11), 40), (q(12), 30), (q(13), 20), (q(14), 10)]
+        vec![
+            (q(10), 50),
+            (q(11), 40),
+            (q(12), 30),
+            (q(13), 20),
+            (q(14), 10),
+        ]
     }
 
     #[test]
@@ -158,52 +164,62 @@ mod tests {
 }
 
 #[cfg(test)]
-mod prop_tests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use sqp_common::rng::{Rng, StdRng};
     use sqp_common::QueryId;
 
-    fn arb_truth() -> impl Strategy<Value = Vec<(QueryId, u64)>> {
-        proptest::collection::btree_set(0u32..20, 1..6).prop_map(|ids| {
-            // Distinct queries with strictly decreasing frequencies.
-            ids.into_iter()
-                .enumerate()
-                .map(|(i, q)| (QueryId(q), 100 - i as u64))
-                .collect()
-        })
+    /// Distinct queries with strictly decreasing frequencies.
+    fn arb_truth(rng: &mut StdRng) -> Vec<(QueryId, u64)> {
+        let n = rng.random_range(1usize..6);
+        let ids: std::collections::BTreeSet<u32> =
+            (0..n).map(|_| rng.random_range(0u32..20)).collect();
+        ids.into_iter()
+            .enumerate()
+            .map(|(i, q)| (QueryId(q), 100 - i as u64))
+            .collect()
     }
 
-    proptest! {
-        #[test]
-        fn ndcg_is_bounded(
-            truth in arb_truth(),
-            predicted in proptest::collection::vec(0u32..25, 0..8),
-            n in 1usize..6,
-        ) {
-            let predicted: Vec<QueryId> = predicted.into_iter().map(QueryId).collect();
+    #[test]
+    fn ndcg_is_bounded() {
+        for case in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(case);
+            let truth = arb_truth(&mut rng);
+            let len = rng.random_range(0usize..8);
+            let predicted: Vec<QueryId> = (0..len)
+                .map(|_| QueryId(rng.random_range(0u32..25)))
+                .collect();
+            let n = rng.random_range(1usize..6);
             let s = ndcg_at(&predicted, &truth, n);
-            prop_assert!((0.0..=1.0).contains(&s), "ndcg = {s}");
+            assert!((0.0..=1.0).contains(&s), "case {case}: ndcg = {s}");
         }
+    }
 
-        #[test]
-        fn predicting_the_truth_exactly_scores_one(truth in arb_truth(), n in 1usize..6) {
+    #[test]
+    fn predicting_the_truth_exactly_scores_one() {
+        for case in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(200 + case);
+            let truth = arb_truth(&mut rng);
+            let n = rng.random_range(1usize..6);
             let predicted: Vec<QueryId> = truth.iter().map(|&(q, _)| q).collect();
             let s = ndcg_at(&predicted, &truth, n);
-            prop_assert!((s - 1.0).abs() < 1e-9, "ndcg = {s}");
+            assert!((s - 1.0).abs() < 1e-9, "case {case}: ndcg = {s}");
         }
+    }
 
-        #[test]
-        fn irrelevant_prefix_never_helps(
-            truth in arb_truth(),
-            n in 1usize..6,
-        ) {
+    #[test]
+    fn irrelevant_prefix_never_helps() {
+        for case in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(400 + case);
+            let truth = arb_truth(&mut rng);
+            let n = rng.random_range(1usize..6);
             // Prepending a miss before the perfect ranking cannot raise NDCG.
             let perfect: Vec<QueryId> = truth.iter().map(|&(q, _)| q).collect();
             let mut worse = vec![QueryId(999)];
             worse.extend(perfect.iter().copied());
             let s_perfect = ndcg_at(&perfect, &truth, n);
             let s_worse = ndcg_at(&worse, &truth, n);
-            prop_assert!(s_worse <= s_perfect + 1e-12);
+            assert!(s_worse <= s_perfect + 1e-12, "case {case}");
         }
     }
 }

@@ -2,8 +2,7 @@
 //! helpers to train any subset uniformly.
 
 use sqp_core::{
-    Adjacency, Cooccurrence, Mvmm, MvmmConfig, NGram, Recommender, Vmm, VmmConfig,
-    WeightedSessions,
+    Adjacency, Cooccurrence, Mvmm, MvmmConfig, NGram, Recommender, Vmm, VmmConfig, WeightedSessions,
 };
 
 /// A trainable model kind (the label + configuration, no data).

@@ -9,8 +9,7 @@
 //! (approved/pool), and per-position precision.
 
 use crate::labeler::LabelerOracle;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sqp_common::rng::{Rng, StdRng};
 use sqp_common::{FxHashSet, Interner, QueryId};
 use sqp_core::Recommender;
 use sqp_logsim::Vocabulary;
@@ -159,8 +158,8 @@ pub fn run_user_eval(
                 methods[mi].predicted += 1;
                 methods[mi].position_predicted[pos] += 1;
                 let pred_str = interner.resolve(rec.query);
-                let in_truth_top = cfg.approve_truth_top
-                    && e.top.iter().any(|&(q, _)| q == rec.query);
+                let in_truth_top =
+                    cfg.approve_truth_top && e.top.iter().any(|&(q, _)| q == rec.query);
                 if in_truth_top || oracle.approve(last_str, pred_str) {
                     methods[mi].approved += 1;
                     methods[mi].position_approved[pos] += 1;
@@ -183,10 +182,7 @@ mod tests {
     use sqp_core::{Adjacency, Cooccurrence, NGram};
     use sqp_sessions::{process, PipelineConfig};
 
-    fn setup() -> (
-        sqp_sessions::ProcessedLogs,
-        sqp_logsim::SimulatedLogs,
-    ) {
+    fn setup() -> (sqp_sessions::ProcessedLogs, sqp_logsim::SimulatedLogs) {
         let logs = sqp_logsim::generate(&sqp_logsim::SimConfig::small(6_000, 4_000, 2025));
         let cfg = PipelineConfig {
             reduction_threshold: 1,
@@ -228,7 +224,11 @@ mod tests {
         }
         // Ordered models should have decent precision on this synthetic data.
         let adj_row = &res.methods[0];
-        assert!(adj_row.precision() > 0.4, "Adj precision {}", adj_row.precision());
+        assert!(
+            adj_row.precision() > 0.4,
+            "Adj precision {}",
+            adj_row.precision()
+        );
     }
 
     #[test]
@@ -241,8 +241,20 @@ mod tests {
             per_length: 50,
             ..UserEvalConfig::default()
         };
-        let r1 = run_user_eval(&models, &p.ground_truth, &p.interner, &logs.truth.vocabulary, &cfg);
-        let r2 = run_user_eval(&models, &p.ground_truth, &p.interner, &logs.truth.vocabulary, &cfg);
+        let r1 = run_user_eval(
+            &models,
+            &p.ground_truth,
+            &p.interner,
+            &logs.truth.vocabulary,
+            &cfg,
+        );
+        let r2 = run_user_eval(
+            &models,
+            &p.ground_truth,
+            &p.interner,
+            &logs.truth.vocabulary,
+            &cfg,
+        );
         assert_eq!(r1.methods[0].predicted, r2.methods[0].predicted);
         assert_eq!(r1.methods[0].approved, r2.methods[0].approved);
         assert_eq!(r1.pool_size, r2.pool_size);

@@ -1,7 +1,9 @@
 //! Run the complete experiment suite — every table and figure of the paper —
 //! on one shared corpus and one trained model roster.
 
-use sqp_experiments::{banner, data_figs, model_figs, user_figs, ExpArgs, TrainedModels, Workbench};
+use sqp_experiments::{
+    banner, data_figs, model_figs, user_figs, ExpArgs, TrainedModels, Workbench,
+};
 use std::time::Instant;
 
 fn section(title: &str) {
@@ -12,12 +14,18 @@ fn section(title: &str) {
 
 fn main() {
     let args = ExpArgs::parse();
-    println!("{}", banner("run_all", "the full evaluation suite (§V)", &args));
+    println!(
+        "{}",
+        banner("run_all", "the full evaluation suite (§V)", &args)
+    );
 
     let t0 = Instant::now();
     eprintln!("generating logs and running the pipeline...");
     let wb = Workbench::build(&args);
-    eprintln!("corpus ready in {:.1}s; training models...", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "corpus ready in {:.1}s; training models...",
+        t0.elapsed().as_secs_f64()
+    );
     let t1 = Instant::now();
     let models = TrainedModels::train(&wb);
     eprintln!("models trained in {:.1}s", t1.elapsed().as_secs_f64());
@@ -71,5 +79,8 @@ fn main() {
     println!("{}", user_figs::fig13_user_eval(&wb, &models));
     println!("{}", user_figs::fig14_precision_positions(&wb, &models));
 
-    eprintln!("\nfull suite completed in {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "\nfull suite completed in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -151,12 +151,20 @@ pub fn fig03_toy_pst() -> String {
     out.push_str(&format!(
         "\nD_KL(q0 || q1q0) = {:.4}  (paper: 0.3449) -> {}\n",
         d_q1q0,
-        if d_q1q0 > TOY_EPSILON { "added" } else { "rejected" }
+        if d_q1q0 > TOY_EPSILON {
+            "added"
+        } else {
+            "rejected"
+        }
     ));
     out.push_str(&format!(
         "D_KL(q1 || q0q1) = {:.4}  (paper: 0.0837) -> {}\n",
         d_q0q1,
-        if d_q0q1 > TOY_EPSILON { "added" } else { "rejected" }
+        if d_q0q1 > TOY_EPSILON {
+            "added"
+        } else {
+            "rejected"
+        }
     ));
 
     // The walked-through sequence probability.
@@ -200,7 +208,13 @@ pub fn tab04_dataset_stats(wb: &Workbench) -> String {
     ];
     let mut out = render_table(
         "Table IV — summary statistics of segmented sessions",
-        &headers(&["data", "# sessions", "# searches", "# unique queries", "mean length"]),
+        &headers(&[
+            "data",
+            "# sessions",
+            "# searches",
+            "# unique queries",
+            "mean length",
+        ]),
         &rows,
     );
     out.push_str(
@@ -240,7 +254,10 @@ pub fn tab05_sample_sessions(wb: &Workbench) -> String {
 /// Figure 5: session count versus session length (train and test).
 pub fn fig05_session_histogram(wb: &Workbench) -> String {
     let mut out = String::new();
-    for (name, epoch) in [("training", &wb.processed.train), ("test", &wb.processed.test)] {
+    for (name, epoch) in [
+        ("training", &wb.processed.train),
+        ("test", &wb.processed.test),
+    ] {
         let rows: Vec<Vec<String>> = epoch
             .length_hist_before
             .iter()
@@ -260,7 +277,10 @@ pub fn fig05_session_histogram(wb: &Workbench) -> String {
 /// Figure 6: power-law distribution of aggregated session frequencies.
 pub fn fig06_power_law(wb: &Workbench) -> String {
     let mut out = String::new();
-    for (name, epoch) in [("training", &wb.processed.train), ("test", &wb.processed.test)] {
+    for (name, epoch) in [
+        ("training", &wb.processed.train),
+        ("test", &wb.processed.test),
+    ] {
         let slope = sqp_common::hist::log_log_slope(&epoch.spectrum).unwrap_or(f64::NAN);
         out.push_str(&format!(
             "Figure 6 ({name}) — aggregated session rank/frequency\n\

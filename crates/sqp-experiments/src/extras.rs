@@ -104,7 +104,13 @@ pub fn ablation_mixture(wb: &Workbench) -> String {
     render_table(
         "Ablation — MVMM mixture size K",
         &headers(&[
-            "K", "NDCG@1", "NDCG@5", "coverage", "merged nodes", "train ms", "sigmas",
+            "K",
+            "NDCG@1",
+            "NDCG@5",
+            "coverage",
+            "merged nodes",
+            "train ms",
+            "sigmas",
         ]),
         &rows,
     )
@@ -237,7 +243,10 @@ pub fn ext_logloss(wb: &Workbench) -> String {
     out.push_str(&format!(
         "\ntest sequences scored: {} (multi-query, support-weighted)\n\
          lower is better; the naive N-gram pays heavily for uncovered transitions\n",
-        test_sessions.iter().map(|(_, f)| *f as usize).sum::<usize>()
+        test_sessions
+            .iter()
+            .map(|(_, f)| *f as usize)
+            .sum::<usize>()
     ));
     out
 }
@@ -266,7 +275,11 @@ pub fn ext_list_size(wb: &Workbench) -> String {
         }
         rows.push(vec![
             n.to_string(),
-            pct(if total == 0 { 0.0 } else { hits as f64 / total as f64 }),
+            pct(if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            }),
         ]);
     }
     render_table(
@@ -390,8 +403,6 @@ mod tests {
         let half = sqp_eval::subsample(sessions, 0.5);
         let vmm_half = Vmm::train(&half, VmmConfig::with_epsilon(0.05));
         let vmm_full = Vmm::train(sessions, VmmConfig::with_epsilon(0.05));
-        assert!(
-            overall_coverage(&vmm_full, gt) >= overall_coverage(&vmm_half, gt) - 1e-9
-        );
+        assert!(overall_coverage(&vmm_full, gt) >= overall_coverage(&vmm_half, gt) - 1e-9);
     }
 }

@@ -173,12 +173,7 @@ impl TrainedModels {
 
     /// The §V-H user-study roster (Adj., Co-occ., N-gram, MVMM).
     pub fn user_study(&self) -> Vec<&dyn Recommender> {
-        vec![
-            &self.cooccurrence,
-            &self.adjacency,
-            &self.ngram,
-            &self.mvmm,
-        ]
+        vec![&self.cooccurrence, &self.adjacency, &self.ngram, &self.mvmm]
     }
 }
 

@@ -100,9 +100,7 @@ pub fn fig10_coverage(wb: &Workbench, models: &TrainedModels) -> String {
         &headers(&["method", "coverage"]),
         &rows,
     );
-    out.push_str(
-        "\npaper: Co-occ. 60.6%; Adj./VMM/MVMM tied at 56.8%; N-gram by far the worst\n",
-    );
+    out.push_str("\npaper: Co-occ. 60.6%; Adj./VMM/MVMM tied at 56.8%; N-gram by far the worst\n");
     out
 }
 
@@ -185,7 +183,12 @@ pub fn tab07_memory(wb: &Workbench, models: &TrainedModels) -> String {
     rows.push(vec![
         "MVMM (sum of components, un-merged)".into(),
         sqp_common::mem::format_megabytes(
-            models.mvmm.components().iter().map(|c| c.memory_bytes()).sum(),
+            models
+                .mvmm
+                .components()
+                .iter()
+                .map(|c| c.memory_bytes())
+                .sum(),
         ),
     ]);
     let mut out = render_table(
@@ -233,7 +236,10 @@ pub fn fig12_training_time(wb: &Workbench) -> String {
     let rows: Vec<Vec<String>> = rows_data
         .iter()
         .map(|r| {
-            let mut row = vec![format!("{:.0}%", r.fraction * 100.0), r.unique_sessions.to_string()];
+            let mut row = vec![
+                format!("{:.0}%", r.fraction * 100.0),
+                r.unique_sessions.to_string(),
+            ];
             row.extend(r.times.iter().map(|(_, d)| ms(*d)));
             row
         })

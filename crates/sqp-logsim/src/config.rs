@@ -7,10 +7,8 @@
 //! (Fig 6), and a test epoch containing queries never seen in training
 //! (Table VI reason 1).
 
-use serde::{Deserialize, Serialize};
-
 /// Shape of the synthetic topic-tree vocabulary.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct VocabConfig {
     /// Number of root topics (head concepts like "nokia n73", "kidney stones").
     pub n_roots: usize,
@@ -45,7 +43,7 @@ impl Default for VocabConfig {
 }
 
 /// Session-walk behaviour.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SessionConfig {
     /// Unnormalized weights over the paper's seven reformulation patterns, in
     /// [`crate::patterns::PatternType::ALL`] order: spelling change, parallel
@@ -95,7 +93,7 @@ impl Default for SessionConfig {
 }
 
 /// Raw-log emission behaviour (timestamps, machines, clicks).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TrafficConfig {
     /// Number of distinct machines (users). 0 ⇒ derived as n_sessions / 20.
     pub n_machines: usize,
@@ -127,7 +125,7 @@ impl Default for TrafficConfig {
 }
 
 /// Top-level simulation config: vocabulary + sessions + traffic + scale.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SimConfig {
     /// Vocabulary shape.
     pub vocab: VocabConfig,

@@ -21,9 +21,8 @@ use crate::patterns::PatternType;
 use crate::record::{Click, RawLogRecord};
 use crate::vocab::{TopicId, Vocabulary};
 use crate::zipf::CumulativeSampler;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sqp_common::hash::fx_hash_one;
+use sqp_common::rng::{Rng, StdRng};
 use sqp_common::FxHashMap;
 
 /// A generated session together with its ground-truth annotations.
@@ -351,15 +350,17 @@ fn gen_epoch(
 
         // Pick the intent.
         let intent = match &samplers.novelty_zipf {
-            Some(nz)
-                if params.is_test && rng.random_bool(cfg.session.test_novelty_prob) =>
-            {
+            Some(nz) if params.is_test && rng.random_bool(cfg.session.test_novelty_prob) => {
                 samplers.novelty_order[nz.sample(rng)]
             }
             _ => samplers.topic_order[samplers.topic_zipf.sample(rng)],
         };
 
-        let pool: &[TopicId] = if params.is_test { &all_pool } else { &train_pool };
+        let pool: &[TopicId] = if params.is_test {
+            &all_pool
+        } else {
+            &train_pool
+        };
 
         // Session length comes from the main stream so the length
         // distribution matches the configuration exactly (Fig 5); walks
@@ -527,7 +528,12 @@ mod tests {
     #[test]
     fn record_count_matches_query_count() {
         let logs = small_logs();
-        let total_queries: usize = logs.truth.train_sessions.iter().map(|s| s.queries.len()).sum();
+        let total_queries: usize = logs
+            .truth
+            .train_sessions
+            .iter()
+            .map(|s| s.queries.len())
+            .sum();
         assert_eq!(logs.train.len(), total_queries);
     }
 
@@ -609,7 +615,10 @@ mod tests {
             *counts.entry(s.queries.clone()).or_insert(0) += 1;
         }
         let max = counts.values().max().copied().unwrap_or(0);
-        assert!(max >= 20, "most frequent aggregated session only {max} times");
+        assert!(
+            max >= 20,
+            "most frequent aggregated session only {max} times"
+        );
         assert!(counts.len() > 100, "too little diversity: {}", counts.len());
     }
 

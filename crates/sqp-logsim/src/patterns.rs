@@ -5,10 +5,8 @@
 //! from a configurable mixture over them, and the classifier in
 //! `sqp-sessions` recovers them from raw query text.
 
-use serde::{Deserialize, Serialize};
-
 /// One of the seven reformulation patterns of the paper's Table I.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum PatternType {
     /// Typo followed by its correction ("goggle" ⇒ "google").
     SpellingChange,

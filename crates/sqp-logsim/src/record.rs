@@ -7,7 +7,7 @@
 //! * a compact length-prefixed binary form built on [`bytes`], used when logs
 //!   are staged on disk between the generator and the pipeline.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sqp_common::bytes::{Bytes, BytesMut};
 
 /// A URL click following a query.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -90,10 +90,7 @@ pub fn from_tsv(text: &str) -> Result<Vec<RawLogRecord>, String> {
             .ok_or_else(|| err("missing timestamp"))?
             .parse()
             .map_err(|_| err("bad timestamp"))?;
-        let query = parts
-            .next()
-            .ok_or_else(|| err("missing query"))?
-            .to_owned();
+        let query = parts.next().ok_or_else(|| err("missing query"))?.to_owned();
         let n_clicks: usize = parts
             .next()
             .ok_or_else(|| err("missing click count"))?
@@ -303,65 +300,87 @@ mod tests {
 }
 
 #[cfg(test)]
-mod prop_tests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use sqp_common::rng::{Rng, StdRng};
 
-    fn arb_record() -> impl Strategy<Value = RawLogRecord> {
-        (
-            0u64..1000,
-            0u64..1_000_000,
-            "[a-z0-9 ]{1,30}",
-            proptest::collection::vec(("[a-z./0-9]{1,20}", 0u64..1_000_000), 0..4),
-        )
-            .prop_map(|(machine_id, timestamp, query, clicks)| RawLogRecord {
-                machine_id,
-                timestamp,
-                query,
-                clicks: clicks
-                    .into_iter()
-                    .map(|(url, ts)| Click { url, timestamp: ts })
-                    .collect(),
-            })
+    fn rand_text(rng: &mut StdRng, alphabet: &[u8], min: usize, max: usize) -> String {
+        let len = rng.random_range(min..=max);
+        (0..len)
+            .map(|_| alphabet[rng.random_range(0usize..alphabet.len())] as char)
+            .collect()
     }
 
-    proptest! {
-        #[test]
-        fn tsv_roundtrips_arbitrary_records(
-            records in proptest::collection::vec(arb_record(), 0..12)
-        ) {
+    fn arb_record(rng: &mut StdRng) -> RawLogRecord {
+        let n_clicks = rng.random_range(0usize..4);
+        RawLogRecord {
+            machine_id: rng.random_range(0u64..1000),
+            timestamp: rng.random_range(0u64..1_000_000),
+            query: rand_text(rng, b"abcdefghij0123456789 ", 1, 30),
+            clicks: (0..n_clicks)
+                .map(|_| Click {
+                    url: rand_text(rng, b"abcdefg./0123456789", 1, 20),
+                    timestamp: rng.random_range(0u64..1_000_000),
+                })
+                .collect(),
+        }
+    }
+
+    fn arb_records(rng: &mut StdRng) -> Vec<RawLogRecord> {
+        let n = rng.random_range(0usize..12);
+        (0..n).map(|_| arb_record(rng)).collect()
+    }
+
+    #[test]
+    fn tsv_roundtrips_arbitrary_records() {
+        for case in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(case);
+            let records = arb_records(&mut rng);
             let text = to_tsv(&records);
             let parsed = from_tsv(&text).unwrap();
-            prop_assert_eq!(parsed, records);
+            assert_eq!(parsed, records, "case {case}");
         }
+    }
 
-        #[test]
-        fn binary_roundtrips_arbitrary_records(
-            records in proptest::collection::vec(arb_record(), 0..12)
-        ) {
+    #[test]
+    fn binary_roundtrips_arbitrary_records() {
+        for case in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(200 + case);
+            let records = arb_records(&mut rng);
             let parsed = decode(encode(&records)).unwrap();
-            prop_assert_eq!(parsed, records);
+            assert_eq!(parsed, records, "case {case}");
         }
+    }
 
-        #[test]
-        fn tsv_parser_never_panics_on_garbage(input in ".{0,200}") {
+    #[test]
+    fn tsv_parser_never_panics_on_garbage() {
+        for case in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(400 + case);
             // Fuzz: any text either parses or errors cleanly.
+            let input = rand_text(&mut rng, b"abc019\t\n,;.", 0, 200);
             let _ = from_tsv(&input);
         }
+    }
 
-        #[test]
-        fn binary_decoder_never_panics_on_garbage(
-            input in proptest::collection::vec(any::<u8>(), 0..256)
-        ) {
+    #[test]
+    fn binary_decoder_never_panics_on_garbage() {
+        for case in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(600 + case);
+            let len = rng.random_range(0usize..256);
+            let input: Vec<u8> = (0..len).map(|_| rng.random_range(0u8..=255)).collect();
             let _ = decode(Bytes::from(input));
         }
+    }
 
-        #[test]
-        fn last_activity_is_max_of_timestamps(r in arb_record()) {
+    #[test]
+    fn last_activity_is_max_of_timestamps() {
+        for case in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(800 + case);
+            let r = arb_record(&mut rng);
             let la = r.last_activity();
-            prop_assert!(la >= r.timestamp);
+            assert!(la >= r.timestamp, "case {case}");
             for c in &r.clicks {
-                prop_assert!(la >= c.timestamp);
+                assert!(la >= c.timestamp, "case {case}");
             }
         }
     }

@@ -10,8 +10,7 @@
 //! the pattern classifier, and the user-study oracle can all agree on.
 
 use crate::config::VocabConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sqp_common::rng::{Rng, StdRng};
 use sqp_common::{FxHashMap, FxHashSet};
 
 /// Identifier of a topic node in the vocabulary forest.
@@ -60,16 +59,16 @@ pub struct Vocabulary {
 /// Syllables used to build pronounceable pseudo-words, so that misspellings
 /// and acronyms look like the paper's examples rather than random noise.
 const SYLLABLES: &[&str] = &[
-    "ba", "be", "bo", "da", "de", "do", "fa", "fe", "fi", "ga", "go", "ha", "hi", "ja", "jo",
-    "ka", "ke", "ko", "la", "le", "li", "lo", "ma", "me", "mi", "mo", "na", "ne", "ni", "no",
-    "pa", "pe", "po", "ra", "re", "ri", "ro", "sa", "se", "si", "so", "ta", "te", "ti", "to",
-    "va", "ve", "vi", "wa", "we", "ya", "yo", "za", "zo", "dar", "fel", "gor", "han", "jin",
-    "kul", "mer", "nor", "pol", "rok", "sal", "tam", "ven", "wex", "yor", "zim", "lun", "qar",
+    "ba", "be", "bo", "da", "de", "do", "fa", "fe", "fi", "ga", "go", "ha", "hi", "ja", "jo", "ka",
+    "ke", "ko", "la", "le", "li", "lo", "ma", "me", "mi", "mo", "na", "ne", "ni", "no", "pa", "pe",
+    "po", "ra", "re", "ri", "ro", "sa", "se", "si", "so", "ta", "te", "ti", "to", "va", "ve", "vi",
+    "wa", "we", "ya", "yo", "za", "zo", "dar", "fel", "gor", "han", "jin", "kul", "mer", "nor",
+    "pol", "rok", "sal", "tam", "ven", "wex", "yor", "zim", "lun", "qar",
 ];
 
 fn make_word(rng: &mut StdRng, used: &mut FxHashSet<String>) -> String {
     loop {
-        let n = rng.random_range(2..=3);
+        let n = rng.random_range(2u32..=3);
         let mut w = String::new();
         for _ in 0..n {
             w.push_str(SYLLABLES[rng.random_range(0..SYLLABLES.len())]);
@@ -172,7 +171,12 @@ impl Vocabulary {
         }
     }
 
-    fn assign_synonym(&mut self, id: TopicId, rng: &mut StdRng, used_words: &mut FxHashSet<String>) {
+    fn assign_synonym(
+        &mut self,
+        id: TopicId,
+        rng: &mut StdRng,
+        used_words: &mut FxHashSet<String>,
+    ) {
         let canonical = self.topics[id.index()].query.clone();
         let words: Vec<&str> = canonical.split(' ').collect();
         let alt = if words.len() >= 2 {
@@ -445,10 +449,7 @@ mod tests {
         for &id in v.train_topics() {
             assert!(!v.topic(id).test_only);
         }
-        assert_eq!(
-            v.test_only_topics().len() + v.train_topics().len(),
-            v.len()
-        );
+        assert_eq!(v.test_only_topics().len() + v.train_topics().len(), v.len());
     }
 
     #[test]

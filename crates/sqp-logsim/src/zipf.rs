@@ -5,7 +5,7 @@
 //! than approximate rejection schemes, because vocabulary sizes here are at
 //! most a few tens of thousands.
 
-use rand::Rng;
+use sqp_common::rng::Rng;
 
 /// Sampler over `{0, …, n-1}` from a cumulative distribution table.
 #[derive(Clone, Debug)]
@@ -54,7 +54,7 @@ impl CumulativeSampler {
     }
 
     /// Draw one outcome index.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random::<f64>();
         self.index_of(u)
     }
@@ -83,8 +83,7 @@ impl CumulativeSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sqp_common::rng::StdRng;
 
     #[test]
     fn respects_weights_roughly() {
@@ -156,27 +155,34 @@ mod tests {
 }
 
 #[cfg(test)]
-mod prop_tests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use sqp_common::rng::StdRng;
 
-    proptest! {
-        #[test]
-        fn probabilities_sum_to_one(
-            weights in proptest::collection::vec(0.01f64..10.0, 1..40)
-        ) {
-            let s = CumulativeSampler::from_weights(&weights);
+    fn rand_weights(rng: &mut StdRng) -> Vec<f64> {
+        let n = rng.random_range(1usize..40);
+        (0..n).map(|_| 0.01 + rng.random::<f64>() * 9.99).collect()
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for case in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(case);
+            let s = CumulativeSampler::from_weights(&rand_weights(&mut rng));
             let sum: f64 = (0..s.len()).map(|i| s.probability(i)).sum();
-            prop_assert!((sum - 1.0).abs() < 1e-9);
+            assert!((sum - 1.0).abs() < 1e-9, "case {case}");
         }
+    }
 
-        #[test]
-        fn index_always_in_range(
-            weights in proptest::collection::vec(0.01f64..10.0, 1..40),
-            u in 0.0f64..1.0,
-        ) {
-            let s = CumulativeSampler::from_weights(&weights);
-            prop_assert!(s.index_of(u) < s.len());
+    #[test]
+    fn index_always_in_range() {
+        for case in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(300 + case);
+            let s = CumulativeSampler::from_weights(&rand_weights(&mut rng));
+            for _ in 0..16 {
+                let u: f64 = rng.random();
+                assert!(s.index_of(u) < s.len(), "case {case}");
+            }
         }
     }
 }

@@ -28,10 +28,7 @@ impl Aggregated {
 
     /// Total searches (queries weighted by frequency).
     pub fn total_searches(&self) -> u64 {
-        self.sessions
-            .iter()
-            .map(|(s, f)| s.len() as u64 * f)
-            .sum()
+        self.sessions.iter().map(|(s, f)| s.len() as u64 * f).sum()
     }
 
     /// Distinct query ids appearing anywhere.
@@ -96,11 +93,7 @@ mod tests {
 
     #[test]
     fn identical_sessions_merge() {
-        let sessions = vec![
-            ts(1, &["a", "b"]),
-            ts(2, &["a", "b"]),
-            ts(3, &["a", "c"]),
-        ];
+        let sessions = vec![ts(1, &["a", "b"]), ts(2, &["a", "b"]), ts(3, &["a", "c"])];
         let mut interner = Interner::new();
         let agg = aggregate(&sessions, &mut interner);
         assert_eq!(agg.unique_sessions(), 2);
@@ -122,7 +115,11 @@ mod tests {
 
     #[test]
     fn searches_weighted_by_length_and_freq() {
-        let sessions = vec![ts(1, &["a", "b", "c"]), ts(2, &["a", "b", "c"]), ts(3, &["d"])];
+        let sessions = vec![
+            ts(1, &["a", "b", "c"]),
+            ts(2, &["a", "b", "c"]),
+            ts(3, &["d"]),
+        ];
         let mut interner = Interner::new();
         let agg = aggregate(&sessions, &mut interner);
         assert_eq!(agg.total_searches(), 7);

@@ -76,10 +76,8 @@ impl GroundTruth {
         let mut entries: Vec<GroundTruthEntry> = table
             .iter()
             .map(|(ctx, counter)| {
-                let ranked = sqp_common::topk::top_k_counts(
-                    counter.iter().map(|(&q, c)| (q, c)),
-                    n,
-                );
+                let ranked =
+                    sqp_common::topk::top_k_counts(counter.iter().map(|(&q, c)| (q, c)), n);
                 GroundTruthEntry {
                     context: ctx.clone(),
                     support: counter.total(),

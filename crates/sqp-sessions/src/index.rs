@@ -225,10 +225,8 @@ mod tests {
 
     #[test]
     fn reason_labels_are_distinct() {
-        let labels: std::collections::HashSet<_> = UnpredictableReason::ALL
-            .iter()
-            .map(|r| r.label())
-            .collect();
+        let labels: std::collections::HashSet<_> =
+            UnpredictableReason::ALL.iter().map(|r| r.label()).collect();
         assert_eq!(labels.len(), 4);
     }
 }

@@ -30,6 +30,8 @@ pub use contexts::{ContextTable, GroundTruth, GroundTruthEntry};
 pub use index::{QueryTrainingIndex, UnpredictableReason};
 pub use pipeline::{process, EpochData, PipelineConfig, ProcessedLogs};
 pub use reduce::{reduce, ReductionReport};
-pub use segment::{segment, segment_default, TextSession, DEFAULT_CUTOFF_SECS};
+pub use segment::{
+    segment, segment_default, segment_with_parallelism, TextSession, DEFAULT_CUTOFF_SECS,
+};
 pub use segment_ext::{queries_related, segment_with, SegmentStrategy};
 pub use stats::{corpus_stats, CorpusStats};

@@ -155,7 +155,10 @@ mod tests {
             PatternType::Generalization
         );
         assert_eq!(c("o2", "o2 mobile"), PatternType::Specialization);
-        assert_eq!(c("o2 mobile", "o2 mobile phones"), PatternType::Specialization);
+        assert_eq!(
+            c("o2 mobile", "o2 mobile phones"),
+            PatternType::Specialization
+        );
         assert_eq!(c("myspace", "myspace"), PatternType::RepeatedQuery);
         assert_eq!(c("muzzle brake", "shared calenders"), PatternType::Other);
     }
@@ -194,7 +197,10 @@ mod tests {
             "o2 mobile".to_string(),
             "o2 mobile".to_string(),
         ];
-        assert_eq!(classify_session(&s, None), Some(PatternType::Specialization));
+        assert_eq!(
+            classify_session(&s, None),
+            Some(PatternType::Specialization)
+        );
         assert_eq!(classify_session(&s[..1], None), None);
     }
 
@@ -230,10 +236,9 @@ mod tests {
         let mut agree = 0usize;
         let mut total = 0usize;
         for s in &logs.truth.train_sessions {
-            if let (Some(truth), Some(got)) = (
-                s.dominant_label(),
-                classify_session(&s.queries, Some(v)),
-            ) {
+            if let (Some(truth), Some(got)) =
+                (s.dominant_label(), classify_session(&s.queries, Some(v)))
+            {
                 total += 1;
                 if truth == got {
                     agree += 1;

@@ -7,7 +7,7 @@ use crate::aggregate::{aggregate, Aggregated};
 use crate::contexts::GroundTruth;
 use crate::index::QueryTrainingIndex;
 use crate::reduce::{reduce, ReductionReport};
-use crate::segment::{segment, TextSession};
+use crate::segment::{segment_with_parallelism, TextSession};
 use crate::stats::{corpus_stats, CorpusStats};
 use sqp_common::{Histogram, Interner};
 use sqp_logsim::SimulatedLogs;
@@ -24,6 +24,9 @@ pub struct PipelineConfig {
     pub reduction_threshold: u64,
     /// Continuations kept per ground-truth context (the paper's n = 5).
     pub ground_truth_n: usize,
+    /// Shard per-machine segmentation across threads. Deterministic either
+    /// way (machines are independent; output order is by machine id).
+    pub parallel: bool,
 }
 
 impl Default for PipelineConfig {
@@ -32,6 +35,7 @@ impl Default for PipelineConfig {
             session_cutoff_secs: crate::segment::DEFAULT_CUTOFF_SECS,
             reduction_threshold: 1,
             ground_truth_n: 5,
+            parallel: false,
         }
     }
 }
@@ -77,7 +81,7 @@ fn process_epoch(
     cfg: &PipelineConfig,
     interner: &mut Interner,
 ) -> (EpochData, Vec<TextSession>) {
-    let sessions = segment(records, cfg.session_cutoff_secs);
+    let sessions = segment_with_parallelism(records, cfg.session_cutoff_secs, cfg.parallel);
     let stats = corpus_stats(&sessions);
     let aggregated_full = aggregate(&sessions, interner);
     let length_hist_before = aggregated_full.length_histogram();
@@ -160,7 +164,10 @@ mod tests {
             "retention {retention} outside plausible band"
         );
         // Aggregate mass after reduction matches the report.
-        assert_eq!(p.train.aggregated.total_sessions(), p.train.reduction.kept_mass);
+        assert_eq!(
+            p.train.aggregated.total_sessions(),
+            p.train.reduction.kept_mass
+        );
     }
 
     #[test]

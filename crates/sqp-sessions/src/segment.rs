@@ -37,50 +37,107 @@ impl TextSession {
     }
 }
 
+/// Machine count below which parallel segmentation is not worth the thread
+/// startup.
+const PARALLEL_MIN_MACHINES: usize = 256;
+
 /// Segment raw records into sessions with the given cutoff.
 ///
 /// Output is deterministic: sessions are ordered by machine id, then start
 /// time. Every record lands in exactly one session; order within a machine is
 /// preserved.
 pub fn segment(records: &[RawLogRecord], cutoff_secs: u64) -> Vec<TextSession> {
+    segment_with_parallelism(records, cutoff_secs, false)
+}
+
+/// [`segment`], optionally sharding machines across threads. Machines are
+/// independent and output order is by machine id either way, so the result
+/// is identical to the sequential one — `parallel` is purely a throughput
+/// knob for the per-machine sort + scan that dominates segmentation.
+pub fn segment_with_parallelism(
+    records: &[RawLogRecord],
+    cutoff_secs: u64,
+    parallel: bool,
+) -> Vec<TextSession> {
     let mut by_machine: FxHashMap<u64, Vec<&RawLogRecord>> = FxHashMap::default();
     for r in records {
         by_machine.entry(r.machine_id).or_default().push(r);
     }
 
-    let mut machines: Vec<u64> = by_machine.keys().copied().collect();
-    machines.sort_unstable();
+    let mut groups: Vec<(u64, Vec<&RawLogRecord>)> = by_machine.into_iter().collect();
+    groups.sort_unstable_by_key(|(m, _)| *m);
 
-    let mut sessions = Vec::new();
-    for m in machines {
-        let mut recs = by_machine.remove(&m).unwrap();
-        recs.sort_by_key(|r| r.timestamp);
+    let threads = if parallel && groups.len() >= PARALLEL_MIN_MACHINES {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(groups.len())
+    } else {
+        1
+    };
 
-        let mut current: Option<TextSession> = None;
-        let mut last_activity = 0u64;
-        for r in recs {
-            let split = match &current {
-                None => true,
-                Some(_) => r.timestamp.saturating_sub(last_activity) > cutoff_secs,
-            };
-            if split {
-                if let Some(s) = current.take() {
-                    sessions.push(s);
-                }
-                current = Some(TextSession {
-                    machine_id: m,
-                    start_time: r.timestamp,
-                    queries: Vec::new(),
-                });
-            }
-            current.as_mut().unwrap().queries.push(r.query.clone());
-            last_activity = last_activity.max(r.last_activity());
+    if threads <= 1 {
+        let mut sessions = Vec::new();
+        for (m, recs) in groups {
+            segment_machine(m, recs, cutoff_secs, &mut sessions);
         }
-        if let Some(s) = current.take() {
-            sessions.push(s);
-        }
+        return sessions;
     }
-    sessions
+
+    let chunk = groups.len().div_ceil(threads);
+    let shards: Vec<Vec<TextSession>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .chunks_mut(chunk)
+            .map(|shard| {
+                scope.spawn(move || {
+                    let mut sessions = Vec::new();
+                    for (m, recs) in shard {
+                        segment_machine(*m, std::mem::take(recs), cutoff_secs, &mut sessions);
+                    }
+                    sessions
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("segmentation shard panicked"))
+            .collect()
+    });
+    shards.into_iter().flatten().collect()
+}
+
+/// Sort one machine's records by time and cut at over-cutoff gaps.
+fn segment_machine(
+    machine_id: u64,
+    mut recs: Vec<&RawLogRecord>,
+    cutoff_secs: u64,
+    sessions: &mut Vec<TextSession>,
+) {
+    recs.sort_by_key(|r| r.timestamp);
+
+    let mut current: Option<TextSession> = None;
+    let mut last_activity = 0u64;
+    for r in recs {
+        let split = match &current {
+            None => true,
+            Some(_) => r.timestamp.saturating_sub(last_activity) > cutoff_secs,
+        };
+        if split {
+            if let Some(s) = current.take() {
+                sessions.push(s);
+            }
+            current = Some(TextSession {
+                machine_id,
+                start_time: r.timestamp,
+                queries: Vec::new(),
+            });
+        }
+        current.as_mut().unwrap().queries.push(r.query.clone());
+        last_activity = last_activity.max(r.last_activity());
+    }
+    if let Some(s) = current.take() {
+        sessions.push(s);
+    }
 }
 
 /// Segment with the conventional 30-minute rule.
@@ -197,25 +254,25 @@ mod tests {
 }
 
 #[cfg(test)]
-mod prop_tests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use sqp_common::rng::{Rng, StdRng};
 
-    proptest! {
-        #[test]
-        fn partition_invariants(
-            // (machine, gap to previous record of that machine)
-            steps in proptest::collection::vec((0u64..4, 0u64..4000), 1..80),
-            cutoff in 500u64..2500,
-        ) {
+    #[test]
+    fn partition_invariants() {
+        for case in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(case);
+            let cutoff = rng.random_range(500u64..2500);
             // Build per-machine monotone timelines.
             let mut clocks = std::collections::HashMap::new();
             let mut records = Vec::new();
-            for (i, (m, gap)) in steps.iter().enumerate() {
-                let t = clocks.entry(*m).or_insert(0u64);
+            for i in 0..rng.random_range(1usize..80) {
+                let m = rng.random_range(0u64..4);
+                let gap = rng.random_range(0u64..4000);
+                let t = clocks.entry(m).or_insert(0u64);
                 *t += gap;
                 records.push(RawLogRecord {
-                    machine_id: *m,
+                    machine_id: m,
                     timestamp: *t,
                     query: format!("q{i}"),
                     clicks: vec![],
@@ -225,22 +282,44 @@ mod prop_tests {
 
             // 1. Partition: total query count preserved.
             let total: usize = sessions.iter().map(|s| s.queries.len()).sum();
-            prop_assert_eq!(total, records.len());
+            assert_eq!(total, records.len(), "case {case}");
 
-            // 2. No session is empty and sessions are homogeneous by machine.
+            // 2. No session is empty.
             for s in &sessions {
-                prop_assert!(!s.queries.is_empty());
+                assert!(!s.queries.is_empty(), "case {case}");
             }
 
-            // 3. Within a machine, consecutive sessions are separated by more
-            //    than the cutoff and intra-session gaps are within it.
+            // 3. Within a machine, consecutive sessions start later and
+            //    later.
             for m in 0u64..4 {
                 let mine: Vec<&TextSession> =
                     sessions.iter().filter(|s| s.machine_id == m).collect();
                 for w in mine.windows(2) {
-                    prop_assert!(w[1].start_time > w[0].start_time);
+                    assert!(w[1].start_time > w[0].start_time, "case {case}");
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_segmentation_is_identical() {
+        let mut rng = StdRng::seed_from_u64(77);
+        // Enough machines to cross the parallel threshold.
+        let mut records = Vec::new();
+        let mut clocks = std::collections::HashMap::new();
+        for i in 0..20_000usize {
+            let m = rng.random_range(0u64..600);
+            let t = clocks.entry(m).or_insert(0u64);
+            *t += rng.random_range(0u64..4000);
+            records.push(RawLogRecord {
+                machine_id: m,
+                timestamp: *t,
+                query: format!("q{i}"),
+                clicks: vec![],
+            });
+        }
+        let sequential = segment_with_parallelism(&records, 1800, false);
+        let parallel = segment_with_parallelism(&records, 1800, true);
+        assert_eq!(sequential, parallel);
     }
 }

@@ -210,8 +210,7 @@ mod tests {
 
     #[test]
     fn fixed_length_chunks() {
-        let records: Vec<RawLogRecord> =
-            (0..7).map(|i| rec(1, i * 10, &format!("q{i}"))).collect();
+        let records: Vec<RawLogRecord> = (0..7).map(|i| rec(1, i * 10, &format!("q{i}"))).collect();
         let sessions = segment_with(&records, SegmentStrategy::FixedLength { max_queries: 3 });
         let lens: Vec<usize> = sessions.iter().map(|s| s.queries.len()).collect();
         assert_eq!(lens, vec![3, 3, 1]);
@@ -250,10 +249,7 @@ mod tests {
     #[test]
     fn enhanced_never_creates_more_sessions_than_plain() {
         let logs = sqp_logsim::generate(&sqp_logsim::SimConfig::small(2_000, 100, 31));
-        let plain = segment_with(
-            &logs.train,
-            SegmentStrategy::TimeGap { cutoff_secs: MIN30 },
-        );
+        let plain = segment_with(&logs.train, SegmentStrategy::TimeGap { cutoff_secs: MIN30 });
         let enhanced = segment_with(
             &logs.train,
             SegmentStrategy::SimilarityEnhanced {

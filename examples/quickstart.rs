@@ -30,10 +30,7 @@ fn main() {
     );
 
     // 3. Train the Mixture Variable Memory Markov model.
-    let mvmm = Mvmm::train(
-        &processed.train.aggregated.sessions,
-        &MvmmConfig::small(),
-    );
+    let mvmm = Mvmm::train(&processed.train.aggregated.sessions, &MvmmConfig::small());
     println!(
         "MVMM trained: {} components, sigmas = {:?}",
         mvmm.components().len(),

@@ -6,10 +6,10 @@
 //! search front-end needs: build from raw logs, and suggest for a textual
 //! context.
 
+use sqp_common::{Interner, QueryId};
 use sqp_core::{Mvmm, MvmmConfig, Recommender, Vmm, VmmConfig};
 use sqp_logsim::RawLogRecord;
-use sqp_sessions::{aggregate, reduce, segment, DEFAULT_CUTOFF_SECS};
-use sqp_common::{Interner, QueryId};
+use sqp_sessions::{aggregate, reduce, segment_with_parallelism, DEFAULT_CUTOFF_SECS};
 
 /// Which model the service trains.
 #[derive(Clone, Debug)]
@@ -37,6 +37,9 @@ pub struct ServiceConfig {
     pub reduction_threshold: u64,
     /// The model to train.
     pub model: ServiceModel,
+    /// Shard segmentation and window counting across threads. Training is
+    /// deterministic either way; production builds want this on.
+    pub parallel: bool,
 }
 
 impl Default for ServiceConfig {
@@ -45,6 +48,7 @@ impl Default for ServiceConfig {
             session_cutoff_secs: DEFAULT_CUTOFF_SECS,
             reduction_threshold: 0,
             model: ServiceModel::default(),
+            parallel: true,
         }
     }
 }
@@ -69,17 +73,17 @@ impl RecommenderService {
     /// Build from raw click-log records: sessionize, aggregate, reduce,
     /// train.
     pub fn from_raw_logs(records: &[RawLogRecord], cfg: &ServiceConfig) -> Self {
-        let sessions = segment(records, cfg.session_cutoff_secs);
+        let sessions = segment_with_parallelism(records, cfg.session_cutoff_secs, cfg.parallel);
         let mut interner = Interner::new();
         let aggregated = aggregate(&sessions, &mut interner);
         let (reduced, _) = reduce(&aggregated, cfg.reduction_threshold);
         let trained_sessions = reduced.total_sessions();
         let model: Box<dyn Recommender> = match &cfg.model {
             ServiceModel::Mvmm(c) => Box::new(Mvmm::train(&reduced.sessions, c)),
-            ServiceModel::Vmm(c) => Box::new(Vmm::train(&reduced.sessions, *c)),
-            ServiceModel::Adjacency => {
-                Box::new(sqp_core::Adjacency::train(&reduced.sessions))
+            ServiceModel::Vmm(c) => {
+                Box::new(Vmm::train(&reduced.sessions, c.parallel(cfg.parallel)))
             }
+            ServiceModel::Adjacency => Box::new(sqp_core::Adjacency::train(&reduced.sessions)),
         };
         RecommenderService {
             interner,
@@ -206,8 +210,7 @@ mod tests {
     #[test]
     fn context_deepens_the_suggestion() {
         let svc = service(ServiceModel::Vmm(VmmConfig::with_epsilon(0.0)));
-        let suggestions =
-            svc.suggest(&["kidney stones", "kidney stone symptoms"], 3);
+        let suggestions = svc.suggest(&["kidney stones", "kidney stone symptoms"], 3);
         assert_eq!(suggestions[0].query, "kidney stone symptoms in women");
     }
 

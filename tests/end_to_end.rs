@@ -3,12 +3,9 @@
 //! numbers differ (our substrate is a simulator, not a 2.5B-session
 //! commercial log); orderings, crossovers and decay shapes must hold.
 
-use sqp::core::{
-    Adjacency, Cooccurrence, Mvmm, MvmmConfig, NGram, Recommender, Vmm, VmmConfig,
-};
+use sqp::core::{Adjacency, Cooccurrence, Mvmm, MvmmConfig, NGram, Recommender, Vmm, VmmConfig};
 use sqp::eval::{
-    coverage_by_length, entropy_by_context_length, overall_coverage, overall_ndcg,
-    reason_analysis,
+    coverage_by_length, entropy_by_context_length, overall_coverage, overall_ndcg, reason_analysis,
 };
 use sqp::logsim::SimConfig;
 use sqp::sessions::{process, PipelineConfig, ProcessedLogs};
@@ -68,8 +65,14 @@ fn paper_shapes_hold_end_to_end() {
         "Adj {ndcg_adj} should beat Co-occ {ndcg_cooc}"
     );
     // The sequence models at least match Adjacency overall.
-    assert!(ndcg_mvmm >= ndcg_adj - 0.02, "MVMM {ndcg_mvmm} vs Adj {ndcg_adj}");
-    assert!(ndcg_vmm >= ndcg_adj - 0.02, "VMM {ndcg_vmm} vs Adj {ndcg_adj}");
+    assert!(
+        ndcg_mvmm >= ndcg_adj - 0.02,
+        "MVMM {ndcg_mvmm} vs Adj {ndcg_adj}"
+    );
+    assert!(
+        ndcg_vmm >= ndcg_adj - 0.02,
+        "VMM {ndcg_vmm} vs Adj {ndcg_adj}"
+    );
 
     // ---- Figure 10 shape: coverage ordering. ----
     let cov_adj = overall_coverage(&w.adj, gt);
@@ -200,8 +203,7 @@ fn pattern_distribution_matches_paper_motivation() {
         .take(20_000)
         .map(|s| s.queries.as_slice())
         .collect();
-    let counts =
-        sqp::sessions::patterns::pattern_distribution(sample.iter().copied(), Some(vocab));
+    let counts = sqp::sessions::patterns::pattern_distribution(sample.iter().copied(), Some(vocab));
     let sensitive = sqp::sessions::patterns::order_sensitive_fraction(&counts);
     // Paper: 34.34%. The simulator is calibrated to land nearby.
     assert!(

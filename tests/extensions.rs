@@ -2,9 +2,7 @@
 //! model persistence, alternative segmentation, MRR/hit-rate — exercised
 //! together through the umbrella API on a simulated corpus.
 
-use sqp::core::{
-    BackoffConfig, BackoffNgram, Hmm, HmmConfig, Vmm, VmmConfig,
-};
+use sqp::core::{BackoffConfig, BackoffNgram, Hmm, HmmConfig, Vmm, VmmConfig};
 use sqp::eval::{hit_rate, mean_reciprocal_rank, overall_coverage, overall_ndcg};
 use sqp::logsim::SimConfig;
 use sqp::sessions::{process, PipelineConfig, SegmentStrategy};
@@ -78,10 +76,7 @@ fn persistence_roundtrip_preserves_evaluation_metrics() {
     let restored = Vmm::from_bytes(vmm.to_bytes()).expect("roundtrip");
 
     assert_eq!(overall_ndcg(&vmm, gt, 5), overall_ndcg(&restored, gt, 5));
-    assert_eq!(
-        overall_coverage(&vmm, gt),
-        overall_coverage(&restored, gt)
-    );
+    assert_eq!(overall_coverage(&vmm, gt), overall_coverage(&restored, gt));
     assert_eq!(
         mean_reciprocal_rank(&vmm, gt, 5),
         mean_reciprocal_rank(&restored, gt, 5)
@@ -121,9 +116,8 @@ fn similarity_enhanced_segmentation_changes_the_corpus_sanely() {
         },
     );
     // Same records, fewer-or-equal sessions, same total query mass.
-    let mass = |ss: &[sqp::sessions::TextSession]| -> usize {
-        ss.iter().map(|s| s.queries.len()).sum()
-    };
+    let mass =
+        |ss: &[sqp::sessions::TextSession]| -> usize { ss.iter().map(|s| s.queries.len()).sum() };
     assert_eq!(mass(&plain), mass(&enhanced));
     assert!(enhanced.len() <= plain.len());
     // And the merged sessions are longer on average.

@@ -28,10 +28,7 @@ fn recommendations_respect_k_and_ordering() {
                 let recs = model.recommend(ctx, k);
                 assert!(recs.len() <= k, "{label}: len {} > k {k}", recs.len());
                 for w in recs.windows(2) {
-                    assert!(
-                        w[0].score >= w[1].score,
-                        "{label}: scores not descending"
-                    );
+                    assert!(w[0].score >= w[1].score, "{label}: scores not descending");
                 }
                 // No duplicate queries in one list.
                 let mut seen = std::collections::HashSet::new();
@@ -77,7 +74,11 @@ fn retraining_is_deterministic() {
                 assert!((x.score - y.score).abs() < 1e-12, "{label}");
             }
         }
-        assert_eq!(a.memory_bytes(), b.memory_bytes(), "{label}: memory differs");
+        assert_eq!(
+            a.memory_bytes(),
+            b.memory_bytes(),
+            "{label}: memory differs"
+        );
     }
 }
 

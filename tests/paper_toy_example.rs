@@ -63,8 +63,8 @@ fn conditional_probability_table_ii() {
     // P(q0|[q1,q0]) = 3/10 straight from the window counts.
     let counts = sqp::core::counts::WindowCounts::build(&toy_corpus(), None);
     let e = counts.entry(&seq(&[1, 0])).unwrap();
-    assert_eq!(e.next.get(&q0()), 3);
-    assert_eq!(e.next.total(), 10);
+    assert_eq!(e.next_count(q0()), 3);
+    assert_eq!(e.next_total(), 10);
 
     // Candidate set S′ (no filtering).
     let cands = counts.candidates(1);
