@@ -32,7 +32,7 @@ const SAMPLE_TARGET_NS: u64 = 40_000_000;
 const BENCH_BUDGET_NS: u64 = 3_000_000_000;
 
 /// Measure `f`, choosing an iteration count so each sample runs about
-/// [`SAMPLE_TARGET_NS`], bounded by an overall budget.
+/// `SAMPLE_TARGET_NS` (40 ms), bounded by an overall budget.
 pub fn measure<F: FnMut()>(id: &str, samples: usize, mut f: F) -> Stats {
     // Warmup + calibration.
     let t0 = Instant::now();

@@ -8,6 +8,7 @@
 
 pub mod baseline;
 pub mod harness;
+pub mod serve_loop;
 
 pub use harness::{BenchmarkId, Criterion};
 

@@ -19,6 +19,19 @@ const EMPTY_SLOT: u32 = u32::MAX;
 /// vector index and parallel arrays indexed by `QueryId::index()` are cheap.
 /// The reverse index is an open-addressing table of ids probed by string
 /// hash; strings themselves live only in the id-ordered table.
+///
+/// # Examples
+///
+/// ```
+/// use sqp_common::Interner;
+///
+/// let mut interner = Interner::new();
+/// let id = interner.intern("kidney stones");
+/// assert_eq!(interner.intern("kidney stones"), id); // idempotent
+/// assert_eq!(interner.resolve(id), "kidney stones");
+/// assert_eq!(interner.get("unseen query"), None);   // lookup never interns
+/// assert_eq!(interner.len(), 1);
+/// ```
 #[derive(Debug)]
 pub struct Interner {
     strings: Vec<Box<str>>,

@@ -23,6 +23,8 @@
 //! * [`mem`] — approximate heap-size accounting for the memory-footprint
 //!   experiment (Table VII of the paper).
 
+#![deny(missing_docs)]
+
 pub mod arena;
 pub mod bytes;
 pub mod counter;

@@ -19,6 +19,15 @@ pub trait Recommender: Send + Sync {
     /// Top-`k` next-query candidates for `context`, best first.
     fn recommend(&self, context: &[QueryId], k: usize) -> Vec<Scored>;
 
+    /// [`recommend`](Recommender::recommend) into a caller-owned buffer
+    /// (cleared first), so serving loops can reuse one allocation across
+    /// calls. The default delegates to `recommend`; models with an
+    /// allocation-free path (the VMM) override it.
+    fn recommend_into(&self, context: &[QueryId], k: usize, out: &mut Vec<Scored>) {
+        out.clear();
+        out.extend(self.recommend(context, k));
+    }
+
     /// Approximate owned heap bytes (Table VII).
     fn memory_bytes(&self) -> usize;
 

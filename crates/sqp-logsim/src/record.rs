@@ -4,7 +4,8 @@
 //! Two codecs are provided:
 //! * a human-readable TSV form mirroring Table III
 //!   (`machine ⟶ timestamp ⟶ query ⟶ #clicks ⟶ click list`);
-//! * a compact length-prefixed binary form built on [`bytes`], used when logs
+//! * a compact length-prefixed binary form built on [`sqp_common::bytes`],
+//!   used when logs
 //!   are staged on disk between the generator and the pipeline.
 
 use sqp_common::bytes::{Bytes, BytesMut};

@@ -1,0 +1,371 @@
+//! The serving engine: session tracking in front of a hot-swappable model.
+//!
+//! [`ServeEngine`] is the piece a search front-end embeds. It owns a
+//! [`SessionTracker`] and the current [`ModelSnapshot`] behind a [`Swap`]
+//! cell, and exposes the four operations live traffic needs:
+//!
+//! * [`track`](ServeEngine::track) — record a user's query;
+//! * [`suggest`](ServeEngine::suggest) /
+//!   [`suggest_batch`](ServeEngine::suggest_batch) — rank next-query
+//!   candidates for tracked sessions (batched requests amortize the
+//!   snapshot load, carry stripe locks across same-shard runs, and reuse
+//!   id/top-k buffers across the batch);
+//! * [`suggest_context`](ServeEngine::suggest_context) — stateless
+//!   suggestion for an explicit context;
+//! * [`publish`](ServeEngine::publish) — atomically swap in a freshly
+//!   trained snapshot while concurrent readers keep serving the old one.
+//!
+//! Every suggestion is computed against exactly one snapshot handle loaded
+//! at the start of the request, so a mid-request publication can never mix
+//! two models' vocabularies (no torn reads — asserted by the concurrency
+//! tests in the umbrella crate).
+
+use crate::session::{SessionTracker, TrackOutcome, TrackerConfig};
+use crate::snapshot::{ModelSnapshot, Suggestion};
+use crate::swap::Swap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Engine construction parameters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineConfig {
+    /// Session-tracker sizing and eviction parameters.
+    pub tracker: TrackerConfig,
+}
+
+/// One entry of a batched suggestion request.
+#[derive(Clone, Copy, Debug)]
+pub struct SuggestRequest {
+    /// The user whose tracked context to rank against.
+    pub user: u64,
+    /// How many candidates to return.
+    pub k: usize,
+}
+
+/// Monotonic operation counters, readable at any time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries recorded via `track` (including the tracked half of
+    /// `track_and_suggest`).
+    pub tracks: u64,
+    /// Suggestion computations served (batch entries count individually).
+    pub suggests: u64,
+    /// Snapshots published.
+    pub publishes: u64,
+}
+
+/// A concurrent query-suggestion server over a hot-swappable model.
+///
+/// All methods take `&self`; the engine is meant to live in an
+/// [`Arc`] shared across worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use sqp_logsim::RawLogRecord;
+/// use sqp_serve::{EngineConfig, ModelSnapshot, ModelSpec, ServeEngine, TrainingConfig};
+///
+/// let rec = |machine, ts, q: &str| RawLogRecord {
+///     machine_id: machine, timestamp: ts, query: q.into(), clicks: vec![],
+/// };
+/// let mut records = Vec::new();
+/// for u in 0..5 {
+///     records.push(rec(u, 100, "rust"));
+///     records.push(rec(u, 150, "rust atomics"));
+/// }
+/// let cfg = TrainingConfig { model: ModelSpec::Adjacency, ..TrainingConfig::default() };
+/// let snapshot = Arc::new(ModelSnapshot::from_raw_logs(&records, &cfg));
+/// let engine = ServeEngine::new(snapshot, EngineConfig::default());
+///
+/// engine.track(42, "rust", 1_000);
+/// let top = engine.suggest(42, 3, 1_010);
+/// assert_eq!(top[0].query, "rust atomics");
+/// ```
+pub struct ServeEngine {
+    tracker: SessionTracker,
+    current: Swap<ModelSnapshot>,
+    tracks: AtomicU64,
+    suggests: AtomicU64,
+}
+
+impl ServeEngine {
+    /// Build an engine serving `snapshot`.
+    pub fn new(snapshot: Arc<ModelSnapshot>, cfg: EngineConfig) -> Self {
+        Self {
+            tracker: SessionTracker::new(cfg.tracker),
+            current: Swap::new(snapshot),
+            tracks: AtomicU64::new(0),
+            suggests: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a query issued by `user` at `now` (seconds since any fixed
+    /// epoch — only gaps matter).
+    pub fn track(&self, user: u64, query: &str, now: u64) -> TrackOutcome {
+        self.tracks.fetch_add(1, Ordering::Relaxed);
+        self.tracker.track(user, query, now)
+    }
+
+    /// Top-`k` suggestions for `user`'s tracked session. Empty when the
+    /// user has no live session or the context is uncovered by the current
+    /// model.
+    pub fn suggest(&self, user: u64, k: usize, now: u64) -> Vec<Suggestion> {
+        self.suggest_batch(&[SuggestRequest { user, k }], now)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Record `query` for `user` and immediately suggest against the
+    /// updated context — the common search-box round trip. One snapshot
+    /// load and one stripe acquisition: the context is updated and resolved
+    /// to ids in the same critical section, and model inference runs after
+    /// the lock is released.
+    pub fn track_and_suggest(&self, user: u64, query: &str, k: usize, now: u64) -> Vec<Suggestion> {
+        self.tracks.fetch_add(1, Ordering::Relaxed);
+        self.suggests.fetch_add(1, Ordering::Relaxed);
+        let snapshot = self.current.load();
+        let mut ids = Vec::new();
+        let covered = {
+            let mut shard = self.tracker.lock_shard(self.tracker.shard_index(user));
+            let (_, state) = shard.track(user, query, now, self.tracker.config());
+            snapshot.resolve_context_into(state.ring.iter(), &mut ids)
+        };
+        if !covered {
+            return Vec::new();
+        }
+        let mut topk = Vec::new();
+        snapshot.recommend_ids_into(&ids, k, &mut topk);
+        let mut rendered = Vec::with_capacity(topk.len());
+        snapshot.render_into(&topk, &mut rendered);
+        rendered
+    }
+
+    /// Batched suggestion: rank every request against **one** snapshot
+    /// handle loaded up front. Runs in two phases so that no model
+    /// inference ever happens under a session lock:
+    ///
+    /// 1. **Resolve** — walk the requests in order, carrying the stripe
+    ///    lock across consecutive requests that hash to the same shard, and
+    ///    copy each live context out as interned ids into one flat arena.
+    ///    The critical section per request is a map probe plus one interner
+    ///    lookup per context entry.
+    /// 2. **Rank** — with all locks released, run `recommend_into` per
+    ///    request through a single reused top-k buffer and render the
+    ///    results.
+    ///
+    /// Results are returned in request order; callers that pre-group users
+    /// by shard get maximal lock amortization for free. At most one stripe
+    /// lock is ever held, and it is released before the next stripe is
+    /// taken, so concurrent batches cannot deadlock whatever their request
+    /// orders.
+    pub fn suggest_batch(&self, requests: &[SuggestRequest], now: u64) -> Vec<Vec<Suggestion>> {
+        self.suggests
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        let snapshot = self.current.load();
+        let cutoff = self.tracker.config().idle_cutoff_secs;
+
+        // Phase 1: copy covered contexts out as ids. `spans[i]` is the
+        // request's range within the flat `ids` arena, or `None` when the
+        // session is absent, expired, or its context is uncovered.
+        let mut ids: Vec<sqp_common::QueryId> = Vec::new();
+        let mut spans: Vec<Option<(usize, usize)>> = Vec::with_capacity(requests.len());
+        let mut scratch: Vec<sqp_common::QueryId> = Vec::new();
+        let mut held: Option<(usize, std::sync::MutexGuard<'_, crate::session::Shard>)> = None;
+        for req in requests {
+            let shard_idx = self.tracker.shard_index(req.user);
+            if !matches!(&held, Some((idx, _)) if *idx == shard_idx) {
+                // Release the previous stripe *before* locking the next: at
+                // most one stripe lock is ever held, so concurrent batches
+                // cannot form a lock-order cycle.
+                drop(held.take());
+                held = Some((shard_idx, self.tracker.lock_shard(shard_idx)));
+            }
+            let (_, guard) = held.as_mut().expect("stripe lock just taken");
+            let covered = match guard.sessions.get(&req.user) {
+                Some(state) if now.saturating_sub(state.last_seen) <= cutoff => {
+                    snapshot.resolve_context_into(state.ring.iter(), &mut scratch)
+                }
+                _ => false,
+            };
+            if covered {
+                let start = ids.len();
+                ids.extend_from_slice(&scratch);
+                spans.push(Some((start, ids.len())));
+            } else {
+                spans.push(None);
+            }
+        }
+        drop(held);
+
+        // Phase 2: model inference and rendering, lock-free.
+        let mut topk: Vec<sqp_common::topk::Scored> = Vec::new();
+        let mut out: Vec<Vec<Suggestion>> = Vec::with_capacity(requests.len());
+        for (req, span) in requests.iter().zip(&spans) {
+            let Some((start, end)) = span else {
+                out.push(Vec::new());
+                continue;
+            };
+            snapshot.recommend_ids_into(&ids[*start..*end], req.k, &mut topk);
+            let mut rendered = Vec::with_capacity(topk.len());
+            snapshot.render_into(&topk, &mut rendered);
+            out.push(rendered);
+        }
+        out
+    }
+
+    /// Stateless suggestion for an explicit context (oldest query first),
+    /// bypassing the session tracker.
+    pub fn suggest_context(&self, context: &[&str], k: usize) -> Vec<Suggestion> {
+        self.suggests.fetch_add(1, Ordering::Relaxed);
+        self.current.load().suggest(context, k)
+    }
+
+    /// Atomically publish a freshly trained snapshot; in-flight requests
+    /// finish on the snapshot they loaded, later requests see the new one.
+    /// Returns the new model generation.
+    pub fn publish(&self, snapshot: Arc<ModelSnapshot>) -> u64 {
+        self.current.store(snapshot)
+    }
+
+    /// Handle to the snapshot currently serving.
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        self.current.load()
+    }
+
+    /// How many publications have occurred (0 = still on the initial model).
+    pub fn generation(&self) -> u64 {
+        self.current.generation()
+    }
+
+    /// Drop sessions idle past the cutoff at `now`; returns how many.
+    pub fn evict_idle(&self, now: u64) -> usize {
+        self.tracker.evict_idle(now)
+    }
+
+    /// Sessions currently resident in the tracker.
+    pub fn active_sessions(&self) -> usize {
+        self.tracker.active_sessions()
+    }
+
+    /// The underlying tracker (for direct context inspection).
+    pub fn tracker(&self) -> &SessionTracker {
+        &self.tracker
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            tracks: self.tracks.load(Ordering::Relaxed),
+            suggests: self.suggests.load(Ordering::Relaxed),
+            publishes: self.current.generation(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{ModelSpec, TrainingConfig};
+    use sqp_logsim::RawLogRecord;
+
+    fn rec(machine: u64, ts: u64, q: &str) -> RawLogRecord {
+        RawLogRecord {
+            machine_id: machine,
+            timestamp: ts,
+            query: q.into(),
+            clicks: vec![],
+        }
+    }
+
+    fn corpus(prefix: &str) -> Vec<RawLogRecord> {
+        let mut records = Vec::new();
+        for u in 0..6 {
+            records.push(rec(u, 100, "start"));
+            records.push(rec(u, 160, &format!("{prefix}::next")));
+        }
+        records
+    }
+
+    fn snapshot(prefix: &str) -> Arc<ModelSnapshot> {
+        Arc::new(ModelSnapshot::from_raw_logs(
+            &corpus(prefix),
+            &TrainingConfig {
+                model: ModelSpec::Adjacency,
+                ..TrainingConfig::default()
+            },
+        ))
+    }
+
+    fn engine() -> ServeEngine {
+        ServeEngine::new(snapshot("old"), EngineConfig::default())
+    }
+
+    #[test]
+    fn tracked_session_gets_suggestions() {
+        let e = engine();
+        e.track(1, "start", 100);
+        let got = e.suggest(1, 3, 110);
+        assert_eq!(got[0].query, "old::next");
+        assert!(e.suggest(2, 3, 110).is_empty(), "unknown user");
+    }
+
+    #[test]
+    fn track_and_suggest_round_trip() {
+        let e = engine();
+        let got = e.track_and_suggest(7, "start", 3, 50);
+        assert_eq!(got[0].query, "old::next");
+        let stats = e.stats();
+        assert_eq!((stats.tracks, stats.suggests), (1, 1));
+    }
+
+    #[test]
+    fn batch_matches_individual_calls() {
+        let e = engine();
+        for u in 0..32 {
+            e.track(u, "start", 100);
+        }
+        e.track(100, "start", 100);
+        e.track(100, "old::next", 160); // context uncovered for Adjacency
+        let reqs: Vec<SuggestRequest> = (0..32)
+            .chain([100, 555]) // 555 never tracked
+            .map(|user| SuggestRequest { user, k: 2 })
+            .collect();
+        let batch = e.suggest_batch(&reqs, 200);
+        assert_eq!(batch.len(), 34);
+        for (req, got) in reqs.iter().zip(&batch) {
+            assert_eq!(*got, e.suggest(req.user, req.k, 200), "user {}", req.user);
+        }
+        assert!(batch[33].is_empty());
+    }
+
+    #[test]
+    fn publish_swaps_the_model_for_new_requests() {
+        let e = engine();
+        e.track(1, "start", 100);
+        assert_eq!(e.suggest(1, 1, 110)[0].query, "old::next");
+        assert_eq!(e.generation(), 0);
+        let held = e.snapshot();
+        assert_eq!(e.publish(snapshot("new")), 1);
+        assert_eq!(e.suggest(1, 1, 120)[0].query, "new::next");
+        // The pre-publish handle still serves the old vocabulary.
+        assert_eq!(held.suggest(&["start"], 1)[0].query, "old::next");
+        assert_eq!(e.stats().publishes, 1);
+    }
+
+    #[test]
+    fn suggest_context_is_stateless() {
+        let e = engine();
+        assert_eq!(e.suggest_context(&["start"], 1)[0].query, "old::next");
+        assert!(e.suggest_context(&["unseen"], 1).is_empty());
+    }
+
+    #[test]
+    fn eviction_passthrough() {
+        let e = engine();
+        e.track(1, "start", 0);
+        assert_eq!(e.active_sessions(), 1);
+        assert_eq!(e.evict_idle(u64::MAX / 2), 1);
+        assert_eq!(e.active_sessions(), 0);
+    }
+}

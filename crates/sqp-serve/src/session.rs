@@ -1,0 +1,414 @@
+//! Sharded, lock-striped tracking of in-flight user sessions.
+//!
+//! A live search front-end calls [`SessionTracker::track`] on every issued
+//! query and asks for suggestions against the context accumulated so far.
+//! The tracker applies the paper's 30-minute rule *online*: a query arriving
+//! more than the cutoff after the user's last activity starts a fresh
+//! session (the stale context is discarded), mirroring what the offline
+//! pipeline's segmentation does to historical logs.
+//!
+//! Contexts store **query text**, not interned ids. Ids are only meaningful
+//! relative to one snapshot's interner, and the model under the tracker is
+//! hot-swapped by retrains — text is the stable representation, and the
+//! serving engine re-resolves it against whichever snapshot answers the
+//! request (batched, so the lookup cost is amortized).
+//!
+//! Concurrency is lock-striped: user ids hash onto `2^n` shards, each a
+//! mutex around an open hash map. Two users on different shards never
+//! contend, and the per-shard critical section is a map probe plus a
+//! ring-buffer push (the serve paths additionally resolve the context's
+//! interner ids in the same section — still a handful of hash probes;
+//! model inference always runs with the stripe released).
+
+use sqp_common::hash::fx_hash_one;
+use sqp_common::FxHashMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// The conventional idle cutoff, re-exported from the offline pipeline so
+/// online and offline segmentation agree by default.
+pub use sqp_sessions::DEFAULT_CUTOFF_SECS;
+
+/// Tracker sizing and eviction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TrackerConfig {
+    /// Number of lock stripes; rounded up to a power of two, min 1.
+    pub shards: usize,
+    /// Maximum queries retained per session context (ring buffer capacity).
+    /// Older queries are overwritten; VMM-family models match the longest
+    /// suffix anyway, so a short window loses nothing in practice.
+    pub context_capacity: usize,
+    /// Idle gap (seconds) after which a session is considered over — both
+    /// for lazily resetting on the next `track` and for bulk eviction.
+    pub idle_cutoff_secs: u64,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        Self {
+            shards: 64,
+            context_capacity: 8,
+            idle_cutoff_secs: DEFAULT_CUTOFF_SECS,
+        }
+    }
+}
+
+/// What a [`SessionTracker::track`] call did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrackOutcome {
+    /// True when this query started a fresh session (first contact, or the
+    /// idle cutoff had passed and the stale context was discarded).
+    pub new_session: bool,
+    /// Context length after the query was appended (capped at capacity).
+    pub context_len: usize,
+}
+
+/// Bounded most-recent-queries window: a fixed-capacity ring that overwrites
+/// its oldest entry when full.
+#[derive(Debug)]
+pub(crate) struct ContextRing {
+    slots: Box<[Option<Box<str>>]>,
+    /// Index of the oldest live entry.
+    head: usize,
+    len: usize,
+}
+
+impl ContextRing {
+    fn new(capacity: usize) -> Self {
+        Self {
+            slots: (0..capacity.max(1)).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, query: Box<str>) {
+        let cap = self.slots.len();
+        if self.len == cap {
+            self.slots[self.head] = Some(query);
+            self.head = (self.head + 1) % cap;
+        } else {
+            self.slots[(self.head + self.len) % cap] = Some(query);
+            self.len += 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.head = 0;
+        self.len = 0;
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Oldest → newest.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &str> {
+        let cap = self.slots.len();
+        (0..self.len).map(move |i| {
+            self.slots[(self.head + i) % cap]
+                .as_deref()
+                .expect("live ring slot")
+        })
+    }
+}
+
+/// Per-user state within a shard.
+#[derive(Debug)]
+pub(crate) struct SessionState {
+    pub(crate) ring: ContextRing,
+    pub(crate) last_seen: u64,
+}
+
+/// One lock stripe of the session map.
+#[derive(Debug, Default)]
+pub(crate) struct Shard {
+    pub(crate) sessions: FxHashMap<u64, SessionState>,
+}
+
+impl Shard {
+    /// Apply one tracked query while the stripe is locked: reset the ring
+    /// if the idle cutoff has passed, append the query, stamp `last_seen`.
+    /// Returns the outcome plus the updated state (so fused serve paths can
+    /// resolve the context in the same critical section).
+    pub(crate) fn track(
+        &mut self,
+        user: u64,
+        query: &str,
+        now: u64,
+        cfg: &TrackerConfig,
+    ) -> (TrackOutcome, &SessionState) {
+        let state = self.sessions.entry(user).or_insert_with(|| SessionState {
+            ring: ContextRing::new(cfg.context_capacity),
+            last_seen: now,
+        });
+        let expired =
+            !state.ring.is_empty() && now.saturating_sub(state.last_seen) > cfg.idle_cutoff_secs;
+        if expired {
+            state.ring.clear();
+        }
+        let new_session = expired || state.ring.is_empty();
+        state.ring.push(query.into());
+        state.last_seen = now;
+        (
+            TrackOutcome {
+                new_session,
+                context_len: state.ring.len(),
+            },
+            state,
+        )
+    }
+}
+
+/// Sharded map from hashed user id to bounded session context.
+///
+/// # Examples
+///
+/// ```
+/// use sqp_serve::{SessionTracker, TrackerConfig};
+///
+/// let tracker = SessionTracker::new(TrackerConfig::default());
+/// tracker.track(7, "rust", 1_000);
+/// tracker.track(7, "rust atomics", 1_060);
+/// assert_eq!(tracker.context(7, 1_100), vec!["rust", "rust atomics"]);
+///
+/// // 31 minutes of silence ends the session.
+/// let outcome = tracker.track(7, "pizza near me", 1_060 + 31 * 60);
+/// assert!(outcome.new_session);
+/// assert_eq!(tracker.context(7, 1_060 + 31 * 60), vec!["pizza near me"]);
+/// ```
+#[derive(Debug)]
+pub struct SessionTracker {
+    shards: Box<[Mutex<Shard>]>,
+    mask: u64,
+    cfg: TrackerConfig,
+}
+
+impl SessionTracker {
+    /// Create an empty tracker.
+    pub fn new(cfg: TrackerConfig) -> Self {
+        let n = cfg.shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            mask: (n - 1) as u64,
+            cfg,
+        }
+    }
+
+    /// The configuration the tracker was built with.
+    pub fn config(&self) -> &TrackerConfig {
+        &self.cfg
+    }
+
+    /// Stripe index for a user — the user id is hashed so adversarially or
+    /// sequentially assigned ids still spread across stripes.
+    pub(crate) fn shard_index(&self, user: u64) -> usize {
+        (fx_hash_one(&user) & self.mask) as usize
+    }
+
+    pub(crate) fn lock_shard(&self, index: usize) -> MutexGuard<'_, Shard> {
+        self.shards[index].lock().expect("session shard poisoned")
+    }
+
+    /// Record a query issued by `user` at `now` (seconds). Applies the idle
+    /// cutoff lazily: a gap beyond the cutoff discards the stale context and
+    /// starts a fresh session.
+    pub fn track(&self, user: u64, query: &str, now: u64) -> TrackOutcome {
+        let mut shard = self.lock_shard(self.shard_index(user));
+        shard.track(user, query, now, &self.cfg).0
+    }
+
+    /// The live context for `user` at `now`, oldest query first. Empty when
+    /// the user is unknown or their session has passed the idle cutoff.
+    pub fn context(&self, user: u64, now: u64) -> Vec<String> {
+        let shard = self.lock_shard(self.shard_index(user));
+        match shard.sessions.get(&user) {
+            Some(state) if now.saturating_sub(state.last_seen) <= self.cfg.idle_cutoff_secs => {
+                state.ring.iter().map(str::to_owned).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Forget `user` entirely. Returns true if a session existed.
+    pub fn clear(&self, user: u64) -> bool {
+        self.lock_shard(self.shard_index(user))
+            .sessions
+            .remove(&user)
+            .is_some()
+    }
+
+    /// Drop every session idle past the cutoff at `now`, reclaiming the
+    /// memory. Returns the number of sessions evicted. Intended to run
+    /// periodically from a maintenance thread; serving correctness does not
+    /// depend on it (`track`/`context` apply the cutoff lazily).
+    pub fn evict_idle(&self, now: u64) -> usize {
+        let cutoff = self.cfg.idle_cutoff_secs;
+        let mut evicted = 0;
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock().expect("session shard poisoned");
+            let before = shard.sessions.len();
+            shard
+                .sessions
+                .retain(|_, state| now.saturating_sub(state.last_seen) <= cutoff);
+            evicted += before - shard.sessions.len();
+        }
+        evicted
+    }
+
+    /// Number of sessions currently resident (including idle ones not yet
+    /// evicted).
+    pub fn active_sessions(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("session shard poisoned").sessions.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut ring = ContextRing::new(3);
+        for q in ["a", "b", "c", "d"] {
+            ring.push(q.into());
+        }
+        let got: Vec<&str> = ring.iter().collect();
+        assert_eq!(got, vec!["b", "c", "d"]);
+        ring.push("e".into());
+        let got: Vec<&str> = ring.iter().collect();
+        assert_eq!(got, vec!["c", "d", "e"]);
+    }
+
+    #[test]
+    fn track_accumulates_context() {
+        let t = SessionTracker::new(TrackerConfig::default());
+        assert_eq!(
+            t.track(1, "a", 100),
+            TrackOutcome {
+                new_session: true,
+                context_len: 1
+            }
+        );
+        assert_eq!(
+            t.track(1, "b", 200),
+            TrackOutcome {
+                new_session: false,
+                context_len: 2
+            }
+        );
+        assert_eq!(t.context(1, 250), vec!["a", "b"]);
+        assert_eq!(t.active_sessions(), 1);
+    }
+
+    #[test]
+    fn idle_gap_starts_fresh_session() {
+        let cfg = TrackerConfig {
+            idle_cutoff_secs: 100,
+            ..TrackerConfig::default()
+        };
+        let t = SessionTracker::new(cfg);
+        t.track(1, "a", 1000);
+        // Within the cutoff: same session.
+        assert!(!t.track(1, "b", 1100).new_session);
+        // Beyond it: context resets.
+        let out = t.track(1, "c", 1201);
+        assert!(out.new_session);
+        assert_eq!(out.context_len, 1);
+        assert_eq!(t.context(1, 1201), vec!["c"]);
+    }
+
+    #[test]
+    fn context_expires_without_track() {
+        let cfg = TrackerConfig {
+            idle_cutoff_secs: 60,
+            ..TrackerConfig::default()
+        };
+        let t = SessionTracker::new(cfg);
+        t.track(1, "a", 0);
+        assert_eq!(t.context(1, 60), vec!["a"]);
+        assert!(t.context(1, 61).is_empty());
+    }
+
+    #[test]
+    fn evict_idle_reclaims_sessions() {
+        let cfg = TrackerConfig {
+            idle_cutoff_secs: 60,
+            shards: 4,
+            ..TrackerConfig::default()
+        };
+        let t = SessionTracker::new(cfg);
+        for u in 0..100 {
+            t.track(u, "q", u); // last_seen = u
+        }
+        assert_eq!(t.active_sessions(), 100);
+        // At now=120, users with last_seen < 60 are idle past the cutoff.
+        let evicted = t.evict_idle(120);
+        assert_eq!(evicted, 60);
+        assert_eq!(t.active_sessions(), 40);
+        // Evicted users start fresh sessions.
+        assert!(t.track(0, "q2", 121).new_session);
+    }
+
+    #[test]
+    fn clear_forgets_user() {
+        let t = SessionTracker::new(TrackerConfig::default());
+        t.track(9, "a", 0);
+        assert!(t.clear(9));
+        assert!(!t.clear(9));
+        assert!(t.context(9, 1).is_empty());
+    }
+
+    #[test]
+    fn ring_capacity_bounds_context() {
+        let cfg = TrackerConfig {
+            context_capacity: 2,
+            ..TrackerConfig::default()
+        };
+        let t = SessionTracker::new(cfg);
+        for (i, q) in ["a", "b", "c"].iter().enumerate() {
+            t.track(5, q, i as u64);
+        }
+        assert_eq!(t.context(5, 3), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn users_spread_across_shards() {
+        let t = SessionTracker::new(TrackerConfig {
+            shards: 8,
+            ..TrackerConfig::default()
+        });
+        let mut hit = std::collections::HashSet::new();
+        for u in 0..64 {
+            hit.insert(t.shard_index(u));
+        }
+        assert!(hit.len() > 1, "sequential ids all landed on one stripe");
+    }
+
+    #[test]
+    fn concurrent_tracking_is_consistent() {
+        let t = std::sync::Arc::new(SessionTracker::new(TrackerConfig {
+            shards: 8,
+            ..TrackerConfig::default()
+        }));
+        std::thread::scope(|scope| {
+            for thread in 0..4u64 {
+                let t = std::sync::Arc::clone(&t);
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        let user = (thread * 1000) + (i % 50);
+                        t.track(user, &format!("q{i}"), i);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.active_sessions(), 4 * 50);
+    }
+}

@@ -1,0 +1,316 @@
+//! Immutable trained-model snapshots — the unit of publication.
+//!
+//! A [`ModelSnapshot`] bundles everything one trained model needs to answer
+//! suggestions: the frozen [`Interner`] that maps query text to the dense
+//! ids the model was trained over, the model itself, and training metadata.
+//! Snapshots are **immutable after construction** — the serving engine
+//! shares one behind an [`Arc`](std::sync::Arc) across every worker thread
+//! and swaps the whole bundle atomically when a retrain finishes. Keeping
+//! the interner inside the snapshot is what makes the swap safe: a
+//! `QueryId` is only meaningful relative to the interner that produced it,
+//! so ids resolved against snapshot N are never mixed with a model from
+//! snapshot N+1.
+
+use sqp_common::topk::Scored;
+use sqp_common::{Interner, QueryId};
+use sqp_core::{Mvmm, MvmmConfig, Recommender, Vmm, VmmConfig};
+use sqp_logsim::RawLogRecord;
+use sqp_sessions::{aggregate, reduce, segment_with_parallelism, DEFAULT_CUTOFF_SECS};
+
+/// Which model a snapshot trains.
+#[derive(Clone, Debug)]
+pub enum ModelSpec {
+    /// The paper's MVMM (default: the 11-component ε sweep).
+    Mvmm(MvmmConfig),
+    /// A single VMM.
+    Vmm(VmmConfig),
+    /// The Adjacency baseline (smallest footprint).
+    Adjacency,
+}
+
+impl Default for ModelSpec {
+    fn default() -> Self {
+        ModelSpec::Mvmm(MvmmConfig::epsilon_sweep())
+    }
+}
+
+/// Training parameters for building a snapshot from raw logs.
+#[derive(Clone, Debug)]
+pub struct TrainingConfig {
+    /// Session cutoff for the 30-minute rule, in seconds.
+    pub session_cutoff_secs: u64,
+    /// Drop aggregated sessions with frequency ≤ this.
+    pub reduction_threshold: u64,
+    /// The model to train.
+    pub model: ModelSpec,
+    /// Shard segmentation and window counting across threads. Training is
+    /// deterministic either way; production builds want this on.
+    pub parallel: bool,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        Self {
+            session_cutoff_secs: DEFAULT_CUTOFF_SECS,
+            reduction_threshold: 0,
+            model: ModelSpec::default(),
+            parallel: true,
+        }
+    }
+}
+
+/// A ranked suggestion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Suggestion {
+    /// Suggested query text.
+    pub query: String,
+    /// Model score (higher is better).
+    pub score: f64,
+}
+
+/// A trained model plus the interner it was trained against, frozen for
+/// concurrent serving.
+///
+/// # Examples
+///
+/// ```
+/// use sqp_logsim::RawLogRecord;
+/// use sqp_serve::{ModelSnapshot, ModelSpec, TrainingConfig};
+///
+/// let rec = |machine, ts, q: &str| RawLogRecord {
+///     machine_id: machine, timestamp: ts, query: q.into(), clicks: vec![],
+/// };
+/// let mut records = Vec::new();
+/// for u in 0..5 {
+///     records.push(rec(u, 100, "rust"));
+///     records.push(rec(u, 160, "rust atomics"));
+/// }
+/// let snapshot = ModelSnapshot::from_raw_logs(
+///     &records,
+///     &TrainingConfig { model: ModelSpec::Adjacency, ..TrainingConfig::default() },
+/// );
+/// let top = snapshot.suggest(&["rust"], 1);
+/// assert_eq!(top[0].query, "rust atomics");
+/// ```
+pub struct ModelSnapshot {
+    interner: Interner,
+    model: Box<dyn Recommender>,
+    trained_sessions: u64,
+}
+
+impl ModelSnapshot {
+    /// Build from raw click-log records: sessionize, aggregate, reduce,
+    /// train.
+    pub fn from_raw_logs(records: &[RawLogRecord], cfg: &TrainingConfig) -> Self {
+        let sessions = segment_with_parallelism(records, cfg.session_cutoff_secs, cfg.parallel);
+        let mut interner = Interner::new();
+        let aggregated = aggregate(&sessions, &mut interner);
+        let (reduced, _) = reduce(&aggregated, cfg.reduction_threshold);
+        let trained_sessions = reduced.total_sessions();
+        let model: Box<dyn Recommender> = match &cfg.model {
+            ModelSpec::Mvmm(c) => Box::new(Mvmm::train(&reduced.sessions, c)),
+            ModelSpec::Vmm(c) => Box::new(Vmm::train(&reduced.sessions, c.parallel(cfg.parallel))),
+            ModelSpec::Adjacency => Box::new(sqp_core::Adjacency::train(&reduced.sessions)),
+        };
+        Self::from_parts(interner, model, trained_sessions)
+    }
+
+    /// Assemble from an already-trained model and the interner its ids are
+    /// relative to. `trained_sessions` is the session mass used in training
+    /// (metadata only).
+    pub fn from_parts(
+        interner: Interner,
+        model: Box<dyn Recommender>,
+        trained_sessions: u64,
+    ) -> Self {
+        Self {
+            interner,
+            model,
+            trained_sessions,
+        }
+    }
+
+    /// Resolve a textual context into `ids` (cleared first).
+    ///
+    /// Unknown queries stay in the context as placeholders only if they are
+    /// not the final query — suffix-matching models skip an unknown prefix,
+    /// but an unknown *current* query means no evidence at all. Returns
+    /// `false` when the context is empty or its final query is unknown.
+    pub fn resolve_context_into<'a, I>(&self, context: I, ids: &mut Vec<QueryId>) -> bool
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        ids.clear();
+        let mut final_known = false;
+        let mut nonempty = false;
+        for q in context {
+            nonempty = true;
+            match self.interner.get(q) {
+                Some(id) => {
+                    ids.push(id);
+                    final_known = true;
+                }
+                None => final_known = false,
+            }
+        }
+        nonempty && final_known
+    }
+
+    /// Top-`k` candidates for a pre-resolved context, written into a reused
+    /// buffer (cleared first). The batched serve path calls this once per
+    /// request with per-shard scratch, so a steady-state suggest performs
+    /// no intermediate allocations.
+    pub fn recommend_ids_into(&self, ids: &[QueryId], k: usize, out: &mut Vec<Scored>) {
+        self.model.recommend_into(ids, k, out);
+    }
+
+    /// Materialize scored ids as textual [`Suggestion`]s, appending to `out`.
+    pub fn render_into(&self, scored: &[Scored], out: &mut Vec<Suggestion>) {
+        for s in scored {
+            out.push(Suggestion {
+                query: self.interner.resolve(s.query).to_owned(),
+                score: s.score,
+            });
+        }
+    }
+
+    /// Top-`k` suggestions for the session so far (oldest query first).
+    /// Empty when the context is uncovered.
+    pub fn suggest(&self, context: &[&str], k: usize) -> Vec<Suggestion> {
+        let mut ids = Vec::new();
+        let mut scored = Vec::new();
+        if !self.resolve_context_into(context.iter().copied(), &mut ids) {
+            return Vec::new();
+        }
+        self.recommend_ids_into(&ids, k, &mut scored);
+        let mut out = Vec::with_capacity(scored.len());
+        self.render_into(&scored, &mut out);
+        out
+    }
+
+    /// Can the snapshot say anything for this context?
+    pub fn covers(&self, context: &[&str]) -> bool {
+        let mut ids = Vec::new();
+        self.resolve_context_into(context.iter().copied(), &mut ids) && self.model.covers(&ids)
+    }
+
+    /// Name of the underlying model.
+    pub fn model_name(&self) -> &str {
+        self.model.name()
+    }
+
+    /// Session mass the model was trained on.
+    pub fn trained_sessions(&self) -> u64 {
+        self.trained_sessions
+    }
+
+    /// Distinct queries known to the snapshot.
+    pub fn vocabulary_size(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Approximate model heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.model.memory_bytes()
+    }
+
+    /// The frozen interner the model's ids are relative to.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &dyn Recommender {
+        self.model.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The whole serving stack must be shareable across threads: every
+    /// model behind the `Recommender` trait object, the snapshot bundle,
+    /// and the engine. A model growing interior mutability (Cell, RefCell,
+    /// un-synchronized caches) would fail to compile here.
+    #[test]
+    fn serving_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<sqp_core::Adjacency>();
+        assert_send_sync::<sqp_core::Cooccurrence>();
+        assert_send_sync::<sqp_core::NGram>();
+        assert_send_sync::<Vmm>();
+        assert_send_sync::<Mvmm>();
+        assert_send_sync::<Box<dyn Recommender>>();
+        assert_send_sync::<ModelSnapshot>();
+        assert_send_sync::<crate::ServeEngine>();
+        assert_send_sync::<crate::SessionTracker>();
+        assert_send_sync::<crate::Swap<ModelSnapshot>>();
+    }
+
+    fn rec(machine: u64, ts: u64, q: &str) -> RawLogRecord {
+        RawLogRecord {
+            machine_id: machine,
+            timestamp: ts,
+            query: q.into(),
+            clicks: vec![],
+        }
+    }
+
+    fn snapshot() -> ModelSnapshot {
+        let mut records = Vec::new();
+        for u in 0..8 {
+            records.push(rec(u, 100, "garden"));
+            records.push(rec(u, 180, "garden shed"));
+        }
+        ModelSnapshot::from_raw_logs(
+            &records,
+            &TrainingConfig {
+                model: ModelSpec::Vmm(VmmConfig::with_epsilon(0.05)),
+                ..TrainingConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn suggests_and_covers() {
+        let s = snapshot();
+        let top = s.suggest(&["garden"], 2);
+        assert_eq!(top[0].query, "garden shed");
+        assert!(s.covers(&["garden"]));
+        assert!(!s.covers(&["unknown query"]));
+        assert!(s.suggest(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn unknown_prefix_is_skipped_unknown_tail_rejected() {
+        let s = snapshot();
+        let mut ids = Vec::new();
+        assert!(s.resolve_context_into(["never seen", "garden"].into_iter(), &mut ids));
+        assert_eq!(ids.len(), 1);
+        assert!(!s.resolve_context_into(["garden", "never seen"].into_iter(), &mut ids));
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let s = snapshot();
+        assert_eq!(s.model_name(), "VMM (0.05)");
+        assert_eq!(s.vocabulary_size(), 2);
+        assert_eq!(s.trained_sessions(), 8);
+        assert!(s.memory_bytes() > 0);
+        assert!(s.interner().get("garden").is_some());
+        assert!(s.model().covers(&[s.interner().get("garden").unwrap()]));
+    }
+
+    #[test]
+    fn buffered_path_matches_convenience_path() {
+        let s = snapshot();
+        let mut ids = Vec::new();
+        let mut scored = Vec::new();
+        let mut out = Vec::new();
+        assert!(s.resolve_context_into(["garden"].into_iter(), &mut ids));
+        s.recommend_ids_into(&ids, 2, &mut scored);
+        s.render_into(&scored, &mut out);
+        assert_eq!(out, s.suggest(&["garden"], 2));
+    }
+}

@@ -1,0 +1,144 @@
+//! Atomic publication cell for shared immutable values.
+//!
+//! The serving path needs the `arc-swap` idiom without the crate: many
+//! reader threads continuously [`load`](Swap::load) the current value while
+//! a trainer occasionally [`store`](Swap::store)s a replacement. Readers
+//! receive an [`Arc`] handle, so a value being replaced stays alive until
+//! the last in-flight request drops it — publication never blocks serving,
+//! and a reader can never observe half of one value and half of another.
+//!
+//! The cell is a pointer-sized critical section: the lock is held only for
+//! the duration of an `Arc` clone (load) or pointer swap (store), never
+//! while a model is consulted. Uncontended, a load is one atomic
+//! acquire/release pair on the lock plus one reference-count increment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A hot-swappable handle to a shared immutable value.
+///
+/// Semantically an atomic `Arc<T>` cell with a monotonically increasing
+/// generation counter. Every successful [`store`](Swap::store) bumps the
+/// generation, letting callers cheaply detect "has the model changed since
+/// I last looked?" without loading the value.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use sqp_serve::Swap;
+///
+/// let cell = Swap::new(Arc::new("v1"));
+/// let reader = cell.load();          // old handle stays valid…
+/// cell.store(Arc::new("v2"));        // …across a publication
+/// assert_eq!(*reader, "v1");
+/// assert_eq!(*cell.load(), "v2");
+/// assert_eq!(cell.generation(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Swap<T> {
+    current: RwLock<Arc<T>>,
+    generation: AtomicU64,
+}
+
+impl<T> Swap<T> {
+    /// Wrap an initial value (generation 0).
+    pub fn new(value: Arc<T>) -> Self {
+        Self {
+            current: RwLock::new(value),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Clone out a handle to the current value.
+    ///
+    /// The handle remains valid — and the value alive — even if a
+    /// [`store`](Swap::store) replaces the cell contents immediately after.
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&self.current.read().expect("swap cell poisoned"))
+    }
+
+    /// Publish a replacement value, returning the new generation.
+    ///
+    /// Readers that loaded before the store keep serving the old value;
+    /// readers that load after get the new one. There is no intermediate
+    /// state.
+    pub fn store(&self, value: Arc<T>) -> u64 {
+        let mut slot = self.current.write().expect("swap cell poisoned");
+        *slot = value;
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Publish a replacement and return the previous value.
+    pub fn swap(&self, value: Arc<T>) -> Arc<T> {
+        let mut slot = self.current.write().expect("swap cell poisoned");
+        let old = std::mem::replace(&mut *slot, value);
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        old
+    }
+
+    /// Number of publications so far (0 until the first [`store`](Swap::store)).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn load_store_roundtrip() {
+        let cell = Swap::new(Arc::new(1u32));
+        assert_eq!(*cell.load(), 1);
+        assert_eq!(cell.generation(), 0);
+        assert_eq!(cell.store(Arc::new(2)), 1);
+        assert_eq!(*cell.load(), 2);
+        assert_eq!(cell.generation(), 1);
+    }
+
+    #[test]
+    fn swap_returns_previous() {
+        let cell = Swap::new(Arc::new("a"));
+        let old = cell.swap(Arc::new("b"));
+        assert_eq!(*old, "a");
+        assert_eq!(*cell.load(), "b");
+        assert_eq!(cell.generation(), 1);
+    }
+
+    #[test]
+    fn old_handles_survive_publication() {
+        let cell = Swap::new(Arc::new(vec![1, 2, 3]));
+        let held = cell.load();
+        cell.store(Arc::new(vec![4]));
+        assert_eq!(*held, vec![1, 2, 3]);
+        assert_eq!(*cell.load(), vec![4]);
+    }
+
+    #[test]
+    fn concurrent_loads_during_stores() {
+        let cell = Arc::new(Swap::new(Arc::new(0u64)));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = *cell.load();
+                        // Published values only move forward.
+                        assert!(v >= last, "went backwards: {last} -> {v}");
+                        last = v;
+                    }
+                });
+            }
+            for gen in 1..=1000u64 {
+                cell.store(Arc::new(gen));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(cell.generation(), 1000);
+    }
+}

@@ -15,6 +15,8 @@
 //! assert!(!processed.ground_truth.is_empty());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod aggregate;
 pub mod contexts;
 pub mod index;

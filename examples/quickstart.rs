@@ -40,21 +40,28 @@ fn main() {
             .collect::<Vec<_>>()
     );
 
-    // 4. Recommend: take a real test context and suggest the next query.
-    let entry = processed
+    // 4. Recommend: take the highest-support test context the model covers
+    //    (test-only tail queries are legitimately uncovered — that is the
+    //    paper's coverage metric) and suggest the next query.
+    let mut by_support: Vec<_> = processed
         .ground_truth
         .entries
         .iter()
         .filter(|e| e.context.len() >= 2)
-        .max_by_key(|e| e.support)
-        .expect("ground truth is non-empty");
+        .collect();
+    by_support.sort_by_key(|e| std::cmp::Reverse(e.support));
+    let entry = by_support
+        .iter()
+        .find(|e| mvmm.covers(&e.context))
+        .expect("no covered test context — model or pipeline is broken");
 
     println!("\nuser context:");
     for q in entry.context.iter() {
         println!("  > {}", processed.interner.resolve(*q));
     }
+    let recs = mvmm.recommend(&entry.context, 5);
     println!("top-5 recommendations:");
-    for rec in mvmm.recommend(&entry.context, 5) {
+    for rec in &recs {
         println!(
             "  {:<40} (score {:.4})",
             processed.interner.resolve(rec.query),
@@ -65,4 +72,13 @@ fn main() {
     for (q, freq) in &entry.top {
         println!("  {:<40} ({} times)", processed.interner.resolve(*q), freq);
     }
+
+    // The quickstart doubles as a smoke test (`cargo run --example
+    // quickstart` in CI): the covered context must yield ranked suggestions.
+    assert!(!recs.is_empty(), "covered context produced no suggestions");
+    assert!(
+        recs.windows(2).all(|w| w[0].score >= w[1].score),
+        "recommendations are not rank-ordered"
+    );
+    println!("\nquickstart assertions passed");
 }

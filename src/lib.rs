@@ -12,6 +12,7 @@ pub use sqp_common as common;
 pub use sqp_core as core;
 pub use sqp_eval as eval;
 pub use sqp_logsim as logsim;
+pub use sqp_serve as serve;
 pub use sqp_sessions as sessions;
 
 pub use service::{RecommenderService, ServiceConfig, ServiceModel, Suggestion};
@@ -21,4 +22,11 @@ pub mod prelude {
     pub use crate::service::{RecommenderService, ServiceConfig, ServiceModel, Suggestion};
     pub use sqp_common::{QueryId, QuerySeq};
     pub use sqp_core::Recommender;
+    pub use sqp_serve::{EngineConfig, ModelSnapshot, ServeEngine, SuggestRequest};
 }
+
+// Compile and run the README's Rust snippets as doc-tests so the quickstart
+// can never drift from the real API again.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}

@@ -2,159 +2,114 @@
 //!
 //! The crates underneath operate on interned ids for speed; an application
 //! embedding query suggestion wants none of that. [`RecommenderService`]
-//! owns the interner and a trained model, and exposes the two calls a
-//! search front-end needs: build from raw logs, and suggest for a textual
-//! context.
+//! wraps a [`ModelSnapshot`] — the immutable
+//! trained bundle from `sqp-serve` — and exposes the two calls a search
+//! front-end needs: build from raw logs, and suggest for a textual context.
+//!
+//! For concurrent traffic (per-user session tracking, batched suggestion,
+//! zero-downtime retrains) promote the service into a
+//! [`ServeEngine`] with
+//! [`RecommenderService::into_engine`].
 
-use sqp_common::{Interner, QueryId};
-use sqp_core::{Mvmm, MvmmConfig, Recommender, Vmm, VmmConfig};
+use std::sync::Arc;
+
 use sqp_logsim::RawLogRecord;
-use sqp_sessions::{aggregate, reduce, segment_with_parallelism, DEFAULT_CUTOFF_SECS};
+use sqp_serve::{EngineConfig, ModelSnapshot, ServeEngine};
 
-/// Which model the service trains.
-#[derive(Clone, Debug)]
-pub enum ServiceModel {
-    /// The paper's MVMM (default: the 11-component ε sweep).
-    Mvmm(MvmmConfig),
-    /// A single VMM.
-    Vmm(VmmConfig),
-    /// The Adjacency baseline (smallest footprint).
-    Adjacency,
-}
-
-impl Default for ServiceModel {
-    fn default() -> Self {
-        ServiceModel::Mvmm(MvmmConfig::epsilon_sweep())
-    }
-}
-
-/// Service construction parameters.
-#[derive(Clone, Debug)]
-pub struct ServiceConfig {
-    /// Session cutoff for the 30-minute rule, in seconds.
-    pub session_cutoff_secs: u64,
-    /// Drop aggregated sessions with frequency ≤ this.
-    pub reduction_threshold: u64,
-    /// The model to train.
-    pub model: ServiceModel,
-    /// Shard segmentation and window counting across threads. Training is
-    /// deterministic either way; production builds want this on.
-    pub parallel: bool,
-}
-
-impl Default for ServiceConfig {
-    fn default() -> Self {
-        Self {
-            session_cutoff_secs: DEFAULT_CUTOFF_SECS,
-            reduction_threshold: 0,
-            model: ServiceModel::default(),
-            parallel: true,
-        }
-    }
-}
-
-/// A ranked suggestion.
-#[derive(Clone, Debug, PartialEq)]
-pub struct Suggestion {
-    /// Suggested query text.
-    pub query: String,
-    /// Model score (higher is better).
-    pub score: f64,
-}
+pub use sqp_serve::{ModelSpec as ServiceModel, Suggestion, TrainingConfig as ServiceConfig};
 
 /// A trained, self-contained query-suggestion service.
+///
+/// This is a thin, single-handle façade over an immutable
+/// [`ModelSnapshot`]; cloning via [`snapshot`](RecommenderService::snapshot)
+/// and publishing into a [`ServeEngine`] are free of retraining cost.
 pub struct RecommenderService {
-    interner: Interner,
-    model: Box<dyn Recommender>,
-    trained_sessions: u64,
+    snapshot: Arc<ModelSnapshot>,
 }
 
 impl RecommenderService {
     /// Build from raw click-log records: sessionize, aggregate, reduce,
     /// train.
     pub fn from_raw_logs(records: &[RawLogRecord], cfg: &ServiceConfig) -> Self {
-        let sessions = segment_with_parallelism(records, cfg.session_cutoff_secs, cfg.parallel);
-        let mut interner = Interner::new();
-        let aggregated = aggregate(&sessions, &mut interner);
-        let (reduced, _) = reduce(&aggregated, cfg.reduction_threshold);
-        let trained_sessions = reduced.total_sessions();
-        let model: Box<dyn Recommender> = match &cfg.model {
-            ServiceModel::Mvmm(c) => Box::new(Mvmm::train(&reduced.sessions, c)),
-            ServiceModel::Vmm(c) => {
-                Box::new(Vmm::train(&reduced.sessions, c.parallel(cfg.parallel)))
-            }
-            ServiceModel::Adjacency => Box::new(sqp_core::Adjacency::train(&reduced.sessions)),
-        };
-        RecommenderService {
-            interner,
-            model,
-            trained_sessions,
+        Self {
+            snapshot: Arc::new(ModelSnapshot::from_raw_logs(records, cfg)),
         }
     }
 
-    /// Resolve a textual context to ids; unknown queries stay in the context
-    /// as placeholders only if they are not the final query (suffix-matching
-    /// models skip an unknown prefix; an unknown *current* query means no
-    /// evidence at all).
-    fn resolve_context(&self, context: &[&str]) -> Option<Vec<QueryId>> {
-        if context.is_empty() {
-            return None;
-        }
-        // The final query must be known.
-        self.interner.get(context[context.len() - 1])?;
-        let ids: Vec<QueryId> = context
-            .iter()
-            .filter_map(|q| self.interner.get(q))
-            .collect();
-        Some(ids)
+    /// Wrap an existing snapshot (e.g. one retrained off-thread).
+    pub fn from_snapshot(snapshot: Arc<ModelSnapshot>) -> Self {
+        Self { snapshot }
     }
 
     /// Top-`k` suggestions for the session so far (oldest query first).
     /// Empty when the context is uncovered.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sqp::prelude::*;
+    /// use sqp::logsim::RawLogRecord;
+    ///
+    /// let rec = |machine, ts, q: &str| RawLogRecord {
+    ///     machine_id: machine, timestamp: ts, query: q.into(), clicks: vec![],
+    /// };
+    /// let mut records = Vec::new();
+    /// for u in 0..10 {
+    ///     records.push(rec(u, 100, "kidney stones"));
+    ///     records.push(rec(u, 200, "kidney stone symptoms"));
+    /// }
+    ///
+    /// let svc = RecommenderService::from_raw_logs(&records, &ServiceConfig::default());
+    /// let suggestions = svc.suggest(&["kidney stones"], 3);
+    /// assert_eq!(suggestions[0].query, "kidney stone symptoms");
+    /// ```
     pub fn suggest(&self, context: &[&str], k: usize) -> Vec<Suggestion> {
-        let Some(ids) = self.resolve_context(context) else {
-            return Vec::new();
-        };
-        self.model
-            .recommend(&ids, k)
-            .into_iter()
-            .map(|s| Suggestion {
-                query: self.interner.resolve(s.query).to_owned(),
-                score: s.score,
-            })
-            .collect()
+        self.snapshot.suggest(context, k)
     }
 
     /// Can the service say anything for this context?
     pub fn covers(&self, context: &[&str]) -> bool {
-        self.resolve_context(context)
-            .is_some_and(|ids| self.model.covers(&ids))
+        self.snapshot.covers(context)
     }
 
     /// Name of the underlying model.
     pub fn model_name(&self) -> &str {
-        self.model.name()
+        self.snapshot.model_name()
     }
 
     /// Session mass the model was trained on.
     pub fn trained_sessions(&self) -> u64 {
-        self.trained_sessions
+        self.snapshot.trained_sessions()
     }
 
     /// Distinct queries known to the service.
     pub fn vocabulary_size(&self) -> usize {
-        self.interner.len()
+        self.snapshot.vocabulary_size()
     }
 
     /// Approximate model heap footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.model.memory_bytes()
+        self.snapshot.memory_bytes()
+    }
+
+    /// Handle to the underlying immutable snapshot — publishable into a
+    /// running [`ServeEngine`] via
+    /// [`publish`](sqp_serve::ServeEngine::publish).
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        Arc::clone(&self.snapshot)
+    }
+
+    /// Promote into a concurrent serving engine with session tracking,
+    /// batched suggestion, and hot-swappable retrains.
+    pub fn into_engine(self, cfg: EngineConfig) -> ServeEngine {
+        ServeEngine::new(self.snapshot, cfg)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sqp_core::{MvmmConfig, VmmConfig};
 
     fn rec(machine: u64, ts: u64, q: &str) -> RawLogRecord {
         RawLogRecord {
@@ -253,5 +208,22 @@ mod tests {
         // Only the 10x session survives; the deep refinement is gone.
         assert!(svc.covers(&["kidney stones"]));
         assert!(!svc.covers(&["kidney stone symptoms"]));
+    }
+
+    #[test]
+    fn snapshot_handle_is_shared_not_copied() {
+        let svc = service(ServiceModel::Adjacency);
+        let a = svc.snapshot();
+        let b = svc.snapshot();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn into_engine_serves_the_same_model() {
+        let svc = service(ServiceModel::Adjacency);
+        let expected = svc.suggest(&["kidney stones"], 2);
+        let engine = svc.into_engine(sqp_serve::EngineConfig::default());
+        engine.track(1, "kidney stones", 100);
+        assert_eq!(engine.suggest(1, 2, 101), expected);
     }
 }
