@@ -1,0 +1,166 @@
+//! PR 3 lifecycle snapshot: measures the model-lifecycle subsystem on the
+//! 10k-session seed corpus and writes `BENCH_PR3.json`.
+//!
+//! Three questions an operator actually asks:
+//!
+//! * **How big is a snapshot, and how long does saving take?** (nightly
+//!   build budget)
+//! * **How fast is a warm start vs a cold start?** (restart / scale-out
+//!   budget: `load_snapshot` vs retraining from raw logs)
+//! * **What is the retrain-loop publish latency?** (freshness budget: from
+//!   "new traffic buffered" to "new generation serving", including train,
+//!   save-to-disk, and the atomic swap)
+//!
+//! Usage: `cargo run --release -p sqp-bench --bin bench_pr3 [out.json]`
+
+use sqp_core::VmmConfig;
+use sqp_serve::{EngineConfig, ModelSnapshot, ModelSpec, ServeEngine, TrainingConfig};
+use sqp_store::{
+    load_snapshot, save_snapshot, snapshot_file_name, RetrainConfig, Retrainer, SnapshotMeta,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const CORPUS_SESSIONS: usize = 10_000;
+const SEED: u64 = 42;
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR3.json".into());
+    let dir = std::env::temp_dir().join(format!("sqp_bench_pr3_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    eprintln!("building {CORPUS_SESSIONS}-session seed corpus…");
+    let records = sqp_bench::bench_records(CORPUS_SESSIONS, SEED);
+    let training = TrainingConfig {
+        model: ModelSpec::Vmm(VmmConfig::with_epsilon(0.05)),
+        ..TrainingConfig::default()
+    };
+
+    // Cold start: raw logs → pipeline → trained model.
+    let t = Instant::now();
+    let trained = ModelSnapshot::from_raw_logs(&records, &training);
+    let cold_start_ms = t.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "cold start: {:.1} ms ({} sessions, |Q| = {})",
+        cold_start_ms,
+        trained.trained_sessions(),
+        trained.vocabulary_size()
+    );
+
+    // Save time + snapshot size.
+    let path = dir.join(snapshot_file_name(0));
+    let meta = SnapshotMeta::describe(&trained, 0, records.len() as u64);
+    let save_ms = median_ms(
+        (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                save_snapshot(&path, &trained, &meta).expect("save");
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .collect(),
+    );
+    let snapshot_bytes = std::fs::metadata(&path).unwrap().len();
+    eprintln!("save_snapshot: {save_ms:.2} ms median, {snapshot_bytes} bytes");
+
+    // Warm start: snapshot file → ready model.
+    let load_ms = median_ms(
+        (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(load_snapshot(&path).expect("load"));
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .collect(),
+    );
+    let warm_speedup = cold_start_ms / load_ms.max(1e-9);
+    eprintln!("load_snapshot: {load_ms:.2} ms median ({warm_speedup:.0}x faster than cold start)");
+
+    // Sanity: the warm model serves identical suggestions.
+    let (warm, _) = load_snapshot(&path).unwrap();
+    let probe: Vec<String> = warm
+        .interner()
+        .iter()
+        .take(200)
+        .map(|(_, s)| s.to_owned())
+        .collect();
+    for q in &probe {
+        assert_eq!(
+            warm.suggest(&[q.as_str()], 5),
+            trained.suggest(&[q.as_str()], 5),
+            "warm model diverged on {q:?}"
+        );
+    }
+
+    // Retrain-loop publish latency: fresh-traffic burst → new generation
+    // serving (train + save + rotate + swap).
+    eprintln!("retrain-loop publish latency…");
+    let engine = ServeEngine::new(Arc::new(trained), EngineConfig::default());
+    let retrainer = Retrainer::new(
+        RetrainConfig {
+            training: training.clone(),
+            min_batch: 1,
+            snapshot_dir: Some(dir.clone()),
+            keep: 3,
+            ..RetrainConfig::default()
+        },
+        records.clone(),
+    );
+    let burst = records.len() / 100; // ~1% fresh traffic per publish
+    let publish_ms_samples: Vec<f64> = (0..3)
+        .map(|round| {
+            let fresh: Vec<_> = records
+                .iter()
+                .take(burst)
+                .map(|r| {
+                    let mut r = r.clone();
+                    r.machine_id += 1_000_000_000 + round as u64 * 1_000_000;
+                    r
+                })
+                .collect();
+            retrainer.ingest_batch(fresh);
+            let t = Instant::now();
+            let outcome = retrainer.retrain_once(&engine).expect("nonempty window");
+            assert!(
+                outcome.save_error.is_none(),
+                "save failed: {:?}",
+                outcome.save_error
+            );
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            eprintln!(
+                "  generation {}: {:.1} ms (window = {} records)",
+                outcome.meta.generation, ms, outcome.meta.source_records
+            );
+            ms
+        })
+        .collect();
+    let publish_ms = median_ms(publish_ms_samples);
+    assert_eq!(engine.generation(), 3, "publishes did not land");
+
+    let json = format!(
+        "{{\n  \"corpus_sessions\": {CORPUS_SESSIONS},\n  \"seed\": {SEED},\n  \
+         \"model\": \"VMM (0.05)\",\n  \"raw_records\": {},\n  \
+         \"snapshot_bytes\": {snapshot_bytes},\n  \"cold_start_ms\": {cold_start_ms:.1},\n  \
+         \"save_snapshot_ms\": {save_ms:.2},\n  \"load_snapshot_ms\": {load_ms:.2},\n  \
+         \"warm_start_speedup\": {warm_speedup:.0},\n  \
+         \"retrain_publish_ms\": {publish_ms:.1},\n  \
+         \"notes\": \"cold_start = raw logs -> pipeline -> trained model; load = \
+         snapshot file -> ready model (medians of 5); retrain_publish = buffered \
+         burst -> trained+saved+rotated+swapped generation (median of 3); warm model \
+         verified suggestion-identical on 200 probe contexts\"\n}}\n",
+        records.len()
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_PR3.json");
+    std::fs::remove_dir_all(&dir).ok();
+    eprintln!(
+        "wrote {out_path}: snapshot {snapshot_bytes} B, load {load_ms:.2} ms, \
+         retrain publish {publish_ms:.1} ms"
+    );
+}

@@ -6,6 +6,8 @@
 //! workspace builds with no external crates); [`baseline`] preserves the
 //! pre-arena hashmap counter for equivalence tests and speedup accounting.
 
+#![deny(missing_docs)]
+
 pub mod baseline;
 pub mod harness;
 pub mod serve_loop;

@@ -192,9 +192,21 @@ impl BytesMut {
         self.data.extend_from_slice(bytes);
     }
 
+    /// The bytes written so far (e.g. to checksum a partially built
+    /// buffer before appending the checksum itself).
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
     /// Finish writing, producing shareable storage.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+
+    /// Finish writing, taking the backing vector without copying.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
     }
 }
 

@@ -173,6 +173,81 @@ impl Interner {
             .collect::<Vec<_>>()
             .join(" => ")
     }
+
+    /// Append the interner's wire form to `buf`.
+    ///
+    /// Layout (all integers little-endian, strings in id order so ids are
+    /// implicit): `n_queries: u32`, `content_bytes: u64`, then per query
+    /// `len: u32` followed by `len` UTF-8 bytes. Documented byte-for-byte in
+    /// the repository's `FORMAT.md` (the interner block of snapshot v3).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sqp_common::bytes::BytesMut;
+    /// use sqp_common::Interner;
+    ///
+    /// let mut original = Interner::new();
+    /// let id = original.intern("kidney stones");
+    /// let mut buf = BytesMut::with_capacity(64);
+    /// original.serialize_into(&mut buf);
+    /// let restored = Interner::deserialize(&mut buf.freeze()).unwrap();
+    /// assert_eq!(restored.resolve(id), "kidney stones"); // same ids
+    /// ```
+    pub fn serialize_into(&self, buf: &mut crate::bytes::BytesMut) {
+        buf.put_u32_le(self.strings.len() as u32);
+        buf.put_u64_le(self.string_bytes as u64);
+        for s in &self.strings {
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+    }
+
+    /// Reconstruct an interner serialized with
+    /// [`serialize_into`](Interner::serialize_into), assigning identical ids.
+    ///
+    /// The declared query count pre-sizes both the string table and the id
+    /// index, so loading performs one allocation per string plus two for the
+    /// tables — no rehash-driven growth. Fails (without panicking) on
+    /// truncation, non-UTF-8 content, duplicate strings, or a content-byte
+    /// total that disagrees with the declared header.
+    pub fn deserialize(data: &mut crate::bytes::Bytes) -> Result<Interner, String> {
+        if data.remaining() < 12 {
+            return Err("truncated interner header".into());
+        }
+        let n = data.get_u32_le() as usize;
+        let declared_bytes = data.get_u64_le() as usize;
+        // Sanity bound before pre-sizing: every string costs ≥ 4 bytes of
+        // length prefix, so a corrupt count cannot force a huge allocation.
+        if data.remaining() < n * 4 {
+            return Err("truncated interner body".into());
+        }
+        let mut out = Interner::with_capacity(n);
+        for i in 0..n {
+            if data.remaining() < 4 {
+                return Err(format!("truncated length of interned string {i}"));
+            }
+            let len = data.get_u32_le() as usize;
+            if data.remaining() < len {
+                return Err(format!("truncated content of interned string {i}"));
+            }
+            let mut raw = vec![0u8; len];
+            data.copy_to_slice(&mut raw);
+            let s = String::from_utf8(raw)
+                .map_err(|_| format!("interned string {i} is not valid UTF-8"))?;
+            let id = out.intern(&s);
+            if id.index() != i {
+                return Err(format!("duplicate interned string at id {i}"));
+            }
+        }
+        if out.string_bytes != declared_bytes {
+            return Err(format!(
+                "interner content bytes mismatch: header says {declared_bytes}, read {}",
+                out.string_bytes
+            ));
+        }
+        Ok(out)
+    }
 }
 
 impl crate::mem::HeapSize for Interner {
@@ -314,6 +389,68 @@ mod tests {
         i.intern("y");
         let collected: Vec<_> = i.iter().map(|(id, s)| (id.0, s.to_owned())).collect();
         assert_eq!(collected, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_ids() {
+        let mut original = Interner::new();
+        let ids: Vec<QueryId> = (0..500)
+            .map(|k| original.intern(&format!("query número {k}")))
+            .collect();
+        let mut buf = crate::bytes::BytesMut::with_capacity(1024);
+        original.serialize_into(&mut buf);
+        let restored = Interner::deserialize(&mut buf.freeze()).unwrap();
+        assert_eq!(restored.len(), original.len());
+        assert_eq!(restored.bytes_resident(), original.bytes_resident());
+        for (k, id) in ids.iter().enumerate() {
+            assert_eq!(restored.resolve(*id), format!("query número {k}"));
+            assert_eq!(restored.get(&format!("query número {k}")), Some(*id));
+        }
+    }
+
+    #[test]
+    fn empty_interner_roundtrips() {
+        let mut buf = crate::bytes::BytesMut::with_capacity(16);
+        Interner::new().serialize_into(&mut buf);
+        let restored = Interner::deserialize(&mut buf.freeze()).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn deserialize_rejects_truncation_and_garbage() {
+        let mut original = Interner::new();
+        original.intern("alpha");
+        original.intern("beta");
+        let mut buf = crate::bytes::BytesMut::with_capacity(64);
+        original.serialize_into(&mut buf);
+        let blob = buf.freeze();
+        for cut in 0..blob.len() {
+            let mut prefix = blob.slice(0..cut);
+            assert!(
+                Interner::deserialize(&mut prefix).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+        // Bad declared content total.
+        let mut raw = blob.to_vec();
+        raw[4] ^= 0xff;
+        assert!(Interner::deserialize(&mut crate::bytes::Bytes::from(raw)).is_err());
+        // Duplicate strings break the id bijection.
+        let mut dup = crate::bytes::BytesMut::with_capacity(32);
+        dup.put_u32_le(2);
+        dup.put_u64_le(4);
+        for _ in 0..2 {
+            dup.put_u32_le(2);
+            dup.put_slice(b"xy");
+        }
+        assert!(Interner::deserialize(&mut dup.freeze()).is_err());
+        // Invalid UTF-8 content.
+        let mut bad = crate::bytes::BytesMut::with_capacity(32);
+        bad.put_u32_le(1);
+        bad.put_u64_le(2);
+        bad.put_u32_le(2);
+        bad.put_slice(&[0xff, 0xfe]);
+        assert!(Interner::deserialize(&mut bad.freeze()).is_err());
     }
 
     #[test]

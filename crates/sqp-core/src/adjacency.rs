@@ -13,7 +13,8 @@ use sqp_common::{Counter, FxHashMap, QueryId};
 /// Adjacency model: `q → ranked successors of q`.
 pub struct Adjacency {
     /// Successor lists sorted by descending count, ties by ascending id.
-    lists: FxHashMap<QueryId, Box<[(QueryId, u64)]>>,
+    /// `pub(crate)` so [`crate::persist`] can round-trip the count table.
+    pub(crate) lists: FxHashMap<QueryId, Box<[(QueryId, u64)]>>,
 }
 
 impl Adjacency {
@@ -71,6 +72,10 @@ impl Recommender for Adjacency {
             .map(|v| v.len() * std::mem::size_of::<(QueryId, u64)>())
             .sum();
         shallow + deep
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -44,11 +44,11 @@ impl Default for BackoffConfig {
     }
 }
 
-struct State {
+pub(crate) struct State {
     /// Observed continuations `(query, count)`, sorted by descending count.
-    next: Box<[(QueryId, u64)]>,
+    pub(crate) next: Box<[(QueryId, u64)]>,
     /// Total continuation mass.
-    total: u64,
+    pub(crate) total: u64,
 }
 
 impl State {
@@ -69,12 +69,13 @@ impl State {
 
 /// The trained back-off model.
 pub struct BackoffNgram {
-    states: FxHashMap<QuerySeq, State>,
+    /// Fields are `pub(crate)` so [`crate::persist`] can round-trip them.
+    pub(crate) states: FxHashMap<QuerySeq, State>,
     /// Unigram distribution (the back-off floor), sorted by count.
-    unigrams: Box<[(QueryId, u64)]>,
-    unigram_total: u64,
-    config: BackoffConfig,
-    n_queries: usize,
+    pub(crate) unigrams: Box<[(QueryId, u64)]>,
+    pub(crate) unigram_total: u64,
+    pub(crate) config: BackoffConfig,
+    pub(crate) n_queries: usize,
 }
 
 impl BackoffNgram {
@@ -207,6 +208,10 @@ impl Recommender for BackoffNgram {
                 + HASH_ENTRY_OVERHEAD;
         }
         bytes
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

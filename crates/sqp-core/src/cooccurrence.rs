@@ -13,7 +13,8 @@ use sqp_common::{Counter, FxHashMap, QueryId};
 
 /// Co-occurrence model: `q → queries sharing a session with q`, ranked.
 pub struct Cooccurrence {
-    lists: FxHashMap<QueryId, Box<[(QueryId, u64)]>>,
+    /// `pub(crate)` so [`crate::persist`] can round-trip the count table.
+    pub(crate) lists: FxHashMap<QueryId, Box<[(QueryId, u64)]>>,
 }
 
 impl Cooccurrence {
@@ -77,6 +78,10 @@ impl Recommender for Cooccurrence {
             .map(|v| v.len() * std::mem::size_of::<(QueryId, u64)>())
             .sum();
         shallow + deep
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -46,5 +46,6 @@ pub use model::{Recommender, SequenceScorer, WeightedSessions};
 pub use mvmm::{Mvmm, MvmmConfig};
 pub use newton::{fit_mixture_sigmas, FitConfig, FitOutcome};
 pub use ngram::NGram;
+pub use persist::{model_from_bytes, model_to_bytes, ModelKind};
 pub use pst::{NodeDist, Pst, PstNode};
 pub use vmm::{Vmm, VmmConfig};

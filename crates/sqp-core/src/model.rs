@@ -37,6 +37,16 @@ pub trait Recommender: Send + Sync {
     fn covers(&self, context: &[QueryId]) -> bool {
         !self.recommend(context, 1).is_empty()
     }
+
+    /// Concrete-type escape hatch for the snapshot persistence layer
+    /// ([`crate::persist`]): a model that wants to be savable behind a
+    /// `&dyn Recommender` returns `Some(self)` so the persister can
+    /// downcast to its [`crate::persist::ModelKind`]. The default (`None`)
+    /// marks the model as not persistable — [`crate::persist::model_to_bytes`]
+    /// then reports an unsupported-model error instead of guessing.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// Models that assign probabilities to whole query sequences (the sequence

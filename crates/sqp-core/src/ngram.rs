@@ -16,9 +16,10 @@ use sqp_common::{Counter, FxHashMap, QueryId, QuerySeq};
 /// Variable-length N-gram model over full prefix contexts.
 pub struct NGram {
     /// state (full prefix context) → ranked continuations.
-    states: FxHashMap<QuerySeq, Box<[(QueryId, u64)]>>,
+    /// `pub(crate)` so [`crate::persist`] can round-trip the state table.
+    pub(crate) states: FxHashMap<QuerySeq, Box<[(QueryId, u64)]>>,
     /// Largest trained context length (= N−1 of the largest N-gram).
-    max_order: usize,
+    pub(crate) max_order: usize,
 }
 
 impl NGram {
@@ -91,6 +92,10 @@ impl Recommender for NGram {
                 + HASH_ENTRY_OVERHEAD;
         }
         bytes
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -388,6 +388,10 @@ impl Recommender for Vmm {
     fn memory_bytes(&self) -> usize {
         self.pst.heap_bytes() + self.windows.heap_bytes()
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 impl SequenceScorer for Vmm {

@@ -5,6 +5,8 @@
 //! reasons, the Figure 2 entropy curve, the §V-H user study driven by a
 //! simulated labeler oracle, and the Figure 12 training-time sweep.
 
+#![deny(missing_docs)]
+
 pub mod accuracy;
 pub mod coverage;
 pub mod entropy;

@@ -7,6 +7,8 @@
 //! All binaries accept `--train-sessions N --test-sessions N --seed N
 //! --reduction N --quick`.
 
+#![deny(missing_docs)]
+
 pub mod data_figs;
 pub mod extras;
 pub mod harness;

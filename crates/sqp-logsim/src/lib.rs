@@ -13,6 +13,8 @@
 //! assert!(!logs.train.is_empty());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod generator;
 pub mod patterns;

@@ -26,6 +26,12 @@ pub enum ModelSpec {
     Vmm(VmmConfig),
     /// The Adjacency baseline (smallest footprint).
     Adjacency,
+    /// The Co-occurrence baseline (best raw coverage).
+    Cooccurrence,
+    /// The naive variable-length N-gram over full prefix contexts.
+    NGram,
+    /// The Katz-style back-off N-gram.
+    Backoff(sqp_core::BackoffConfig),
 }
 
 impl Default for ModelSpec {
@@ -98,6 +104,16 @@ pub struct ModelSnapshot {
     trained_sessions: u64,
 }
 
+impl std::fmt::Debug for ModelSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelSnapshot")
+            .field("model", &self.model.name())
+            .field("vocabulary", &self.interner.len())
+            .field("trained_sessions", &self.trained_sessions)
+            .finish_non_exhaustive()
+    }
+}
+
 impl ModelSnapshot {
     /// Build from raw click-log records: sessionize, aggregate, reduce,
     /// train.
@@ -111,6 +127,9 @@ impl ModelSnapshot {
             ModelSpec::Mvmm(c) => Box::new(Mvmm::train(&reduced.sessions, c)),
             ModelSpec::Vmm(c) => Box::new(Vmm::train(&reduced.sessions, c.parallel(cfg.parallel))),
             ModelSpec::Adjacency => Box::new(sqp_core::Adjacency::train(&reduced.sessions)),
+            ModelSpec::Cooccurrence => Box::new(sqp_core::Cooccurrence::train(&reduced.sessions)),
+            ModelSpec::NGram => Box::new(sqp_core::NGram::train(&reduced.sessions)),
+            ModelSpec::Backoff(c) => Box::new(sqp_core::BackoffNgram::train(&reduced.sessions, *c)),
         };
         Self::from_parts(interner, model, trained_sessions)
     }

@@ -19,6 +19,7 @@
 
 pub mod aggregate;
 pub mod contexts;
+pub mod incremental;
 pub mod index;
 pub mod patterns;
 pub mod pipeline;
@@ -29,6 +30,7 @@ pub mod stats;
 
 pub use aggregate::{aggregate, Aggregated};
 pub use contexts::{ContextTable, GroundTruth, GroundTruthEntry};
+pub use incremental::SlidingCorpus;
 pub use index::{QueryTrainingIndex, UnpredictableReason};
 pub use pipeline::{process, EpochData, PipelineConfig, ProcessedLogs};
 pub use reduce::{reduce, ReductionReport};

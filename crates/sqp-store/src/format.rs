@@ -1,0 +1,558 @@
+//! Snapshot container format v3 — one file that boots a serving process.
+//!
+//! A snapshot file bundles everything [`ModelSnapshot`] needs: the frozen
+//! [`Interner`], the trained model behind its
+//! [`ModelKind`] tag, and lifecycle metadata
+//! ([`SnapshotMeta`]). The layout is a length-prefixed **section table** —
+//! the loader learns every section's size before touching its payload, so
+//! it pre-sizes the interner tables and model arenas up front and never
+//! grows a structure mid-load — followed by the section payloads and a
+//! trailing whole-file FNV-1a 64 checksum.
+//!
+//! The byte-level specification, with a worked hexdump of a toy snapshot,
+//! lives in the repository's `FORMAT.md`; a conformance test
+//! (`tests/format_spec.rs`) parses a freshly written snapshot using only
+//! the offsets and sizes stated there.
+//!
+//! Writes are atomic-by-rename: [`save_snapshot`] writes `<path>.tmp` and
+//! renames over the target, so a reader (or a crash) can never observe a
+//! half-written snapshot at the published path.
+
+use crate::error::SnapshotError;
+use sqp_common::bytes::{Bytes, BytesMut};
+use sqp_common::Interner;
+use sqp_core::persist::{model_from_bytes, model_to_bytes, ModelKind};
+use sqp_serve::ModelSnapshot;
+use std::path::Path;
+
+/// First four bytes of every snapshot file.
+pub const MAGIC: [u8; 4] = *b"SQPS";
+/// Container version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 3;
+/// Size of the fixed header: magic + version + section count.
+pub const HEADER_LEN: usize = 12;
+/// Size of one section-table entry: id `u32`, offset `u64`, length `u64`.
+pub const SECTION_ENTRY_LEN: usize = 20;
+/// Size of the trailing checksum.
+pub const CHECKSUM_LEN: usize = 8;
+
+/// Section id of the metadata block.
+pub const SECTION_META: u32 = 1;
+/// Section id of the interner block.
+pub const SECTION_INTERNER: u32 = 2;
+/// Section id of the model block.
+pub const SECTION_MODEL: u32 = 3;
+/// Sections every v3 snapshot carries, in file order.
+pub const SECTION_IDS: [u32; 3] = [SECTION_META, SECTION_INTERNER, SECTION_MODEL];
+
+/// Byte length of the META section payload (three `u64` fields).
+pub const META_SECTION_LEN: usize = 24;
+
+/// Lifecycle metadata stored alongside the model.
+///
+/// `trained_sessions` duplicates what the reconstructed
+/// [`ModelSnapshot`] reports, but `generation` and `source_records` exist
+/// *only* here: they let an operator (or the retrainer's rotation logic)
+/// reason about a directory of snapshots without loading any model bytes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Which retrain produced this snapshot (0 = initial offline build;
+    /// the retrainer increments per publish).
+    pub generation: u64,
+    /// Weighted session mass the model was trained on.
+    pub trained_sessions: u64,
+    /// Raw log records in the training window that produced the model.
+    pub source_records: u64,
+}
+
+impl SnapshotMeta {
+    /// Metadata for `snapshot` at `generation`, trained from
+    /// `source_records` raw records.
+    pub fn describe(snapshot: &ModelSnapshot, generation: u64, source_records: u64) -> Self {
+        Self {
+            generation,
+            trained_sessions: snapshot.trained_sessions(),
+            source_records,
+        }
+    }
+}
+
+/// FNV-1a 64 over `bytes` — the snapshot checksum. Stated in full in
+/// `FORMAT.md` so independent tooling can verify files: start from the
+/// offset basis `0xcbf29ce484222325`, and for each byte XOR it in, then
+/// multiply by the prime `0x100000001b3` (wrapping).
+pub fn checksum_fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    bytes
+        .iter()
+        .fold(OFFSET_BASIS, |h, &b| (h ^ b as u64).wrapping_mul(PRIME))
+}
+
+/// Serialize a snapshot + metadata into the v3 container bytes.
+///
+/// Fails only when the model behind the snapshot has no persistable form
+/// (see [`ModelKind`]). Output is deterministic: identical snapshots
+/// produce bit-identical files.
+pub fn snapshot_to_bytes(
+    snapshot: &ModelSnapshot,
+    meta: &SnapshotMeta,
+) -> Result<Vec<u8>, SnapshotError> {
+    // META payload.
+    let mut meta_buf = BytesMut::with_capacity(META_SECTION_LEN);
+    meta_buf.put_u64_le(meta.generation);
+    meta_buf.put_u64_le(meta.trained_sessions);
+    meta_buf.put_u64_le(meta.source_records);
+    let meta_bytes = meta_buf.freeze();
+
+    // INTERNER payload.
+    let mut interner_buf = BytesMut::with_capacity(16 + snapshot.interner().bytes_resident() * 2);
+    snapshot.interner().serialize_into(&mut interner_buf);
+    let interner_bytes = interner_buf.freeze();
+
+    // MODEL payload: kind tag, then the model's own codec.
+    let (kind, payload) =
+        model_to_bytes(snapshot.model()).map_err(SnapshotError::UnsupportedModel)?;
+    let mut model_buf = BytesMut::with_capacity(4 + payload.len());
+    model_buf.put_u32_le(kind.code());
+    model_buf.put_slice(payload.as_slice());
+    let model_bytes = model_buf.freeze();
+
+    let sections: [(u32, &Bytes); 3] = [
+        (SECTION_META, &meta_bytes),
+        (SECTION_INTERNER, &interner_bytes),
+        (SECTION_MODEL, &model_bytes),
+    ];
+
+    let table_len = sections.len() * SECTION_ENTRY_LEN;
+    let payload_len: usize = sections.iter().map(|(_, b)| b.len()).sum();
+    let total = HEADER_LEN + table_len + payload_len + CHECKSUM_LEN;
+    let mut out = BytesMut::with_capacity(total);
+    out.put_slice(&MAGIC);
+    out.put_u32_le(FORMAT_VERSION);
+    out.put_u32_le(sections.len() as u32);
+    let mut offset = (HEADER_LEN + table_len) as u64;
+    for (id, bytes) in &sections {
+        out.put_u32_le(*id);
+        out.put_u64_le(offset);
+        out.put_u64_le(bytes.len() as u64);
+        offset += bytes.len() as u64;
+    }
+    for (_, bytes) in &sections {
+        out.put_slice(bytes.as_slice());
+    }
+    let sum = checksum_fnv1a(out.as_slice());
+    out.put_u64_le(sum);
+    let raw = out.into_vec();
+    debug_assert_eq!(raw.len(), total);
+    Ok(raw)
+}
+
+/// One parsed section-table entry (exposed for format tooling and the
+/// `FORMAT.md` conformance test).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SectionEntry {
+    /// Section id (one of [`SECTION_IDS`]).
+    pub id: u32,
+    /// Absolute byte offset of the section payload within the file.
+    pub offset: usize,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// Validate the fixed header and checksum of `raw` and parse the section
+/// table, without touching any payload. The cheap integrity gate every
+/// load runs first; exposed so ops tooling can inspect files.
+pub fn parse_section_table(raw: &[u8]) -> Result<Vec<SectionEntry>, SnapshotError> {
+    if raw.len() < 4 || raw[0..4] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    if raw.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(SnapshotError::Corrupt(format!(
+            "file is {} bytes, shorter than header + checksum",
+            raw.len()
+        )));
+    }
+    let version = u32::from_le_bytes(raw[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let body = &raw[..raw.len() - CHECKSUM_LEN];
+    let stored = u64::from_le_bytes(raw[raw.len() - CHECKSUM_LEN..].try_into().unwrap());
+    let computed = checksum_fnv1a(body);
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch { stored, computed });
+    }
+    let n_sections = u32::from_le_bytes(raw[8..12].try_into().unwrap()) as usize;
+    let table_end = HEADER_LEN
+        .checked_add(
+            n_sections
+                .checked_mul(SECTION_ENTRY_LEN)
+                .ok_or_else(|| SnapshotError::Corrupt("section count overflows".into()))?,
+        )
+        .ok_or_else(|| SnapshotError::Corrupt("section table overflows".into()))?;
+    if table_end > body.len() {
+        return Err(SnapshotError::Corrupt(format!(
+            "section table ({n_sections} entries) exceeds file body"
+        )));
+    }
+    let mut entries = Vec::with_capacity(n_sections);
+    let mut cursor = HEADER_LEN;
+    let mut expected_offset = table_end;
+    for i in 0..n_sections {
+        let id = u32::from_le_bytes(raw[cursor..cursor + 4].try_into().unwrap());
+        let offset = u64::from_le_bytes(raw[cursor + 4..cursor + 12].try_into().unwrap());
+        let len = u64::from_le_bytes(raw[cursor + 12..cursor + 20].try_into().unwrap());
+        cursor += SECTION_ENTRY_LEN;
+        let offset: usize = offset
+            .try_into()
+            .map_err(|_| SnapshotError::Corrupt(format!("section {i} offset overflows")))?;
+        let len: usize = len
+            .try_into()
+            .map_err(|_| SnapshotError::Corrupt(format!("section {i} length overflows")))?;
+        // Sections must tile the body contiguously, in table order — the
+        // layout the writer produces and FORMAT.md specifies.
+        if offset != expected_offset {
+            return Err(SnapshotError::Corrupt(format!(
+                "section {i} starts at {offset}, expected {expected_offset}"
+            )));
+        }
+        expected_offset = offset
+            .checked_add(len)
+            .ok_or_else(|| SnapshotError::Corrupt(format!("section {i} extent overflows")))?;
+        if expected_offset > body.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "section {i} (offset {offset}, len {len}) exceeds file body"
+            )));
+        }
+        entries.push(SectionEntry { id, offset, len });
+    }
+    if expected_offset != body.len() {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} unaccounted bytes after the last section",
+            body.len() - expected_offset
+        )));
+    }
+    Ok(entries)
+}
+
+fn required_section(
+    entries: &[SectionEntry],
+    id: u32,
+    label: &str,
+) -> Result<SectionEntry, SnapshotError> {
+    let mut found = entries.iter().filter(|e| e.id == id);
+    let entry = found
+        .next()
+        .copied()
+        .ok_or_else(|| SnapshotError::Corrupt(format!("missing {label} section (id {id})")))?;
+    if found.next().is_some() {
+        return Err(SnapshotError::Corrupt(format!(
+            "duplicate {label} section (id {id})"
+        )));
+    }
+    Ok(entry)
+}
+
+/// Reconstruct a snapshot and its metadata from v3 container bytes.
+///
+/// Integrity order: magic → version → whole-file checksum → section table
+/// → payloads. Any violation returns the matching [`SnapshotError`]
+/// variant; no code path panics and no partial snapshot escapes.
+pub fn snapshot_from_bytes(raw: &[u8]) -> Result<(ModelSnapshot, SnapshotMeta), SnapshotError> {
+    let entries = parse_section_table(raw)?;
+    // One shared copy of the file; the interner and model payloads below
+    // are zero-copy cursor views into it.
+    let shared = Bytes::from(raw.to_vec());
+
+    // META.
+    let meta_entry = required_section(&entries, SECTION_META, "meta")?;
+    if meta_entry.len != META_SECTION_LEN {
+        return Err(SnapshotError::Corrupt(format!(
+            "meta section is {} bytes, expected {META_SECTION_LEN}",
+            meta_entry.len
+        )));
+    }
+    let at = meta_entry.offset;
+    let meta = SnapshotMeta {
+        generation: u64::from_le_bytes(raw[at..at + 8].try_into().unwrap()),
+        trained_sessions: u64::from_le_bytes(raw[at + 8..at + 16].try_into().unwrap()),
+        source_records: u64::from_le_bytes(raw[at + 16..at + 24].try_into().unwrap()),
+    };
+
+    // INTERNER.
+    let interner_entry = required_section(&entries, SECTION_INTERNER, "interner")?;
+    let mut interner_bytes =
+        shared.slice(interner_entry.offset..interner_entry.offset + interner_entry.len);
+    let interner = Interner::deserialize(&mut interner_bytes)
+        .map_err(|e| SnapshotError::Corrupt(format!("interner block: {e}")))?;
+    if !interner_bytes.is_empty() {
+        return Err(SnapshotError::Corrupt(format!(
+            "interner block has {} trailing bytes",
+            interner_bytes.remaining()
+        )));
+    }
+
+    // MODEL.
+    let model_entry = required_section(&entries, SECTION_MODEL, "model")?;
+    if model_entry.len < 4 {
+        return Err(SnapshotError::Corrupt(
+            "model section shorter than its kind tag".into(),
+        ));
+    }
+    let at = model_entry.offset;
+    let code = u32::from_le_bytes(raw[at..at + 4].try_into().unwrap());
+    let kind = ModelKind::from_code(code)
+        .ok_or_else(|| SnapshotError::Corrupt(format!("unknown model kind tag {code}")))?;
+    let payload = shared.slice(at + 4..at + model_entry.len);
+    let model = model_from_bytes(kind, payload)
+        .map_err(|e| SnapshotError::Corrupt(format!("{} payload: {e}", kind.label())))?;
+
+    Ok((
+        ModelSnapshot::from_parts(interner, model, meta.trained_sessions),
+        meta,
+    ))
+}
+
+/// Write `snapshot` to `path` atomically (via `<path>.tmp` + rename).
+///
+/// # Examples
+///
+/// ```
+/// use sqp_logsim::RawLogRecord;
+/// use sqp_serve::{ModelSnapshot, ModelSpec, TrainingConfig};
+/// use sqp_store::{load_snapshot, save_snapshot, SnapshotMeta};
+///
+/// let rec = |machine, ts, q: &str| RawLogRecord {
+///     machine_id: machine, timestamp: ts, query: q.into(), clicks: vec![],
+/// };
+/// let mut records = Vec::new();
+/// for u in 0..5 {
+///     records.push(rec(u, 100, "rust"));
+///     records.push(rec(u, 160, "rust atomics"));
+/// }
+/// let cfg = TrainingConfig { model: ModelSpec::Adjacency, ..TrainingConfig::default() };
+/// let trained = ModelSnapshot::from_raw_logs(&records, &cfg);
+/// let meta = SnapshotMeta::describe(&trained, 0, records.len() as u64);
+///
+/// let path = std::env::temp_dir().join(format!("sqp-doc-save-{}.sqps", std::process::id()));
+/// save_snapshot(&path, &trained, &meta).unwrap();
+///
+/// // A fresh process cold-starts from the file alone.
+/// let (restored, restored_meta) = load_snapshot(&path).unwrap();
+/// assert_eq!(restored.suggest(&["rust"], 1)[0].query, "rust atomics");
+/// assert_eq!(restored_meta, meta);
+/// # std::fs::remove_file(&path).unwrap();
+/// ```
+pub fn save_snapshot(
+    path: impl AsRef<Path>,
+    snapshot: &ModelSnapshot,
+    meta: &SnapshotMeta,
+) -> Result<(), SnapshotError> {
+    let path = path.as_ref();
+    let raw = snapshot_to_bytes(snapshot, meta)?;
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp_name);
+    std::fs::write(&tmp, &raw)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Load a snapshot file written by [`save_snapshot`].
+///
+/// # Examples
+///
+/// ```
+/// use sqp_logsim::RawLogRecord;
+/// use sqp_serve::{ModelSnapshot, ModelSpec, TrainingConfig};
+/// use sqp_store::{load_snapshot, save_snapshot, SnapshotError, SnapshotMeta};
+///
+/// let rec = |machine, ts, q: &str| RawLogRecord {
+///     machine_id: machine, timestamp: ts, query: q.into(), clicks: vec![],
+/// };
+/// let records: Vec<_> = (0..4)
+///     .flat_map(|u| [rec(u, 100, "weather"), rec(u, 150, "weather radar")])
+///     .collect();
+/// let cfg = TrainingConfig { model: ModelSpec::Adjacency, ..TrainingConfig::default() };
+/// let trained = ModelSnapshot::from_raw_logs(&records, &cfg);
+///
+/// let path = std::env::temp_dir().join(format!("sqp-doc-load-{}.sqps", std::process::id()));
+/// save_snapshot(&path, &trained, &SnapshotMeta::describe(&trained, 7, 8)).unwrap();
+/// let (warm, meta) = load_snapshot(&path).unwrap();
+/// assert_eq!(meta.generation, 7);
+/// assert_eq!(warm.model_name(), trained.model_name());
+///
+/// // Unreadable files are typed errors, never panics.
+/// assert!(matches!(
+///     load_snapshot("/nonexistent/snapshot.sqps"),
+///     Err(SnapshotError::Io(_))
+/// ));
+/// # std::fs::remove_file(&path).unwrap();
+/// ```
+pub fn load_snapshot(
+    path: impl AsRef<Path>,
+) -> Result<(ModelSnapshot, SnapshotMeta), SnapshotError> {
+    let raw = std::fs::read(path.as_ref())?;
+    snapshot_from_bytes(&raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqp_core::VmmConfig;
+    use sqp_logsim::RawLogRecord;
+    use sqp_serve::{ModelSpec, TrainingConfig};
+
+    fn rec(machine: u64, ts: u64, q: &str) -> RawLogRecord {
+        RawLogRecord {
+            machine_id: machine,
+            timestamp: ts,
+            query: q.into(),
+            clicks: vec![],
+        }
+    }
+
+    fn toy_records() -> Vec<RawLogRecord> {
+        let mut records = Vec::new();
+        for u in 0..6 {
+            records.push(rec(u, 100, "a"));
+            records.push(rec(u, 160, "b"));
+        }
+        records
+    }
+
+    fn toy_snapshot(model: ModelSpec) -> ModelSnapshot {
+        ModelSnapshot::from_raw_logs(
+            &toy_records(),
+            &TrainingConfig {
+                model,
+                ..TrainingConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn bytes_roundtrip_all_supported_specs() {
+        for spec in [
+            ModelSpec::Adjacency,
+            ModelSpec::Cooccurrence,
+            ModelSpec::NGram,
+            ModelSpec::Backoff(sqp_core::BackoffConfig::default()),
+            ModelSpec::Vmm(VmmConfig::with_epsilon(0.05)),
+        ] {
+            let snapshot = toy_snapshot(spec);
+            let meta = SnapshotMeta::describe(&snapshot, 3, 12);
+            let raw = snapshot_to_bytes(&snapshot, &meta).unwrap();
+            let (restored, restored_meta) = snapshot_from_bytes(&raw).unwrap();
+            assert_eq!(restored_meta, meta);
+            assert_eq!(restored.model_name(), snapshot.model_name());
+            assert_eq!(restored.vocabulary_size(), snapshot.vocabulary_size());
+            assert_eq!(restored.suggest(&["a"], 3), snapshot.suggest(&["a"], 3));
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let a = snapshot_to_bytes(
+            &toy_snapshot(ModelSpec::Adjacency),
+            &SnapshotMeta::default(),
+        )
+        .unwrap();
+        let b = snapshot_to_bytes(
+            &toy_snapshot(ModelSpec::Adjacency),
+            &SnapshotMeta::default(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mvmm_is_a_save_time_error() {
+        let snapshot = toy_snapshot(ModelSpec::Mvmm(sqp_core::MvmmConfig::small()));
+        let err = snapshot_to_bytes(&snapshot, &SnapshotMeta::default()).unwrap_err();
+        assert!(matches!(err, SnapshotError::UnsupportedModel(_)), "{err}");
+    }
+
+    #[test]
+    fn every_truncation_point_fails_with_typed_error() {
+        let snapshot = toy_snapshot(ModelSpec::Adjacency);
+        let raw = snapshot_to_bytes(&snapshot, &SnapshotMeta::default()).unwrap();
+        for cut in 0..raw.len() {
+            match snapshot_from_bytes(&raw[..cut]) {
+                Err(_) => {}
+                Ok(_) => panic!("truncation at {cut}/{} loaded successfully", raw.len()),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_fails() {
+        let snapshot = toy_snapshot(ModelSpec::Adjacency);
+        let raw = snapshot_to_bytes(&snapshot, &SnapshotMeta::default()).unwrap();
+        for i in 0..raw.len() {
+            let mut bad = raw.clone();
+            bad[i] ^= 0xA5;
+            assert!(
+                snapshot_from_bytes(&bad).is_err(),
+                "flip at byte {i} loaded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn error_variants_match_the_failure() {
+        let snapshot = toy_snapshot(ModelSpec::Adjacency);
+        let raw = snapshot_to_bytes(&snapshot, &SnapshotMeta::default()).unwrap();
+
+        assert!(matches!(
+            snapshot_from_bytes(b"NOPE").unwrap_err(),
+            SnapshotError::BadMagic
+        ));
+        let mut wrong_version = raw.clone();
+        wrong_version[4] = 9;
+        // Version is checked before the checksum so operators see the real
+        // cause, not a checksum side effect.
+        assert!(matches!(
+            snapshot_from_bytes(&wrong_version).unwrap_err(),
+            SnapshotError::UnsupportedVersion(9)
+        ));
+        let mut flipped = raw.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 1;
+        assert!(matches!(
+            snapshot_from_bytes(&flipped).unwrap_err(),
+            SnapshotError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip_and_atomic_tmp_cleanup() {
+        let snapshot = toy_snapshot(ModelSpec::Vmm(VmmConfig::with_epsilon(0.0)));
+        let meta = SnapshotMeta::describe(&snapshot, 1, 12);
+        let dir = std::env::temp_dir().join(format!("sqp-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.sqps");
+        save_snapshot(&path, &snapshot, &meta).unwrap();
+        assert!(!dir.join("snap.sqps.tmp").exists(), "tmp file left behind");
+        let (restored, restored_meta) = load_snapshot(&path).unwrap();
+        assert_eq!(restored_meta, meta);
+        assert_eq!(restored.suggest(&["a"], 1), snapshot.suggest(&["a"], 1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn section_table_is_inspectable_without_payload_parsing() {
+        let snapshot = toy_snapshot(ModelSpec::Adjacency);
+        let raw = snapshot_to_bytes(&snapshot, &SnapshotMeta::default()).unwrap();
+        let entries = parse_section_table(&raw).unwrap();
+        assert_eq!(
+            entries.iter().map(|e| e.id).collect::<Vec<_>>(),
+            SECTION_IDS.to_vec()
+        );
+        assert_eq!(entries[0].offset, HEADER_LEN + 3 * SECTION_ENTRY_LEN);
+        assert_eq!(entries[0].len, META_SECTION_LEN);
+        let last = entries.last().unwrap();
+        assert_eq!(last.offset + last.len, raw.len() - CHECKSUM_LEN);
+    }
+}

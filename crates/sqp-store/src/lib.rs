@@ -1,0 +1,95 @@
+//! # sqp-store — the model lifecycle subsystem
+//!
+//! The paper's deployment sketch (§V-F.2) assumes the trained model is
+//! "loaded into RAM for real-time online query prediction". This crate is
+//! everything between *trained* and *loaded*: full-snapshot persistence,
+//! warm-start serving, and the incremental retrain loop that keeps a live
+//! engine fresh.
+//!
+//! Three layers:
+//!
+//! * [`mod@format`] — **snapshot persistence v3**: one versioned, checksummed
+//!   file carrying the frozen [`Interner`](sqp_common::Interner), the
+//!   trained model behind a [`ModelKind`] tag, and lifecycle
+//!   [`SnapshotMeta`]. [`save_snapshot`] / [`load_snapshot`] round-trip a
+//!   ready [`ModelSnapshot`](sqp_serve::ModelSnapshot); the length-prefixed
+//!   section layout (specified byte-by-byte in the repository's
+//!   `FORMAT.md`) lets the loader pre-size every structure.
+//! * [`warm`] — **warm start**: [`WarmStart::from_path`] boots a
+//!   [`ServeEngine`](sqp_serve::ServeEngine) directly from a snapshot
+//!   file; [`WarmStart::publish_from_path`] hot-swaps a newly written file
+//!   into a live engine.
+//! * [`retrain`] — the **retrain loop**: a [`Retrainer`] buffers incoming
+//!   [`RawLogRecord`](sqp_logsim::RawLogRecord)s, re-runs the training
+//!   pipeline over a sliding corpus window on a background scoped thread,
+//!   writes each generation to disk, and publishes it through the engine's
+//!   swap cell — the repo's end-to-end
+//!   log-stream → retrain → hot-swap → suggest scenario.
+//!
+//! Every load-path failure is a typed [`SnapshotError`]; corrupted,
+//! truncated, or wrong-version files can never produce a partial snapshot
+//! or a panic.
+//!
+//! # Examples
+//!
+//! The full lifecycle in one sitting — train, save, warm-start, retrain,
+//! publish:
+//!
+//! ```
+//! use sqp_logsim::RawLogRecord;
+//! use sqp_serve::{EngineConfig, ModelSnapshot, ModelSpec, ServeEngine, TrainingConfig};
+//! use sqp_store::{save_snapshot, RetrainConfig, Retrainer, SnapshotMeta, WarmStart};
+//!
+//! let rec = |machine, ts, q: &str| RawLogRecord {
+//!     machine_id: machine, timestamp: ts, query: q.into(), clicks: vec![],
+//! };
+//! let seed: Vec<_> = (0..6)
+//!     .flat_map(|u| [rec(u, 100, "news"), rec(u, 160, "news today")])
+//!     .collect();
+//! let training = TrainingConfig { model: ModelSpec::Adjacency, ..TrainingConfig::default() };
+//!
+//! // Offline: train and persist generation 0.
+//! let trained = ModelSnapshot::from_raw_logs(&seed, &training);
+//! let path = std::env::temp_dir().join(format!("sqp-doc-lib-{}.sqps", std::process::id()));
+//! save_snapshot(&path, &trained, &SnapshotMeta::describe(&trained, 0, seed.len() as u64)).unwrap();
+//!
+//! // Online: warm-start serving from the file, then fold in new traffic.
+//! let engine = ServeEngine::from_path(&path, EngineConfig::default()).unwrap();
+//! let retrainer = Retrainer::new(
+//!     RetrainConfig { training, ..RetrainConfig::default() },
+//!     seed,
+//! );
+//! for u in 100..110 {
+//!     retrainer.ingest(rec(u, 100, "news"));
+//!     retrainer.ingest(rec(u, 160, "news live stream"));
+//! }
+//! retrainer.retrain_once(&engine).unwrap();
+//! assert_eq!(engine.generation(), 1);
+//! assert!(engine
+//!     .suggest_context(&["news"], 2)
+//!     .iter()
+//!     .any(|s| s.query == "news live stream"));
+//! # std::fs::remove_file(&path).unwrap();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod error;
+pub mod format;
+pub mod retrain;
+pub mod warm;
+
+pub use error::SnapshotError;
+pub use format::{
+    checksum_fnv1a, load_snapshot, parse_section_table, save_snapshot, snapshot_from_bytes,
+    snapshot_to_bytes, SectionEntry, SnapshotMeta, FORMAT_VERSION, MAGIC,
+};
+pub use retrain::{
+    latest_generation_on_disk, rotate_snapshots, snapshot_file_name, PublishOutcome, RetrainConfig,
+    RetrainReport, Retrainer,
+};
+pub use warm::{Published, WarmStart};
+
+// The model-kind tag is defined next to the model codecs in sqp-core;
+// re-exported here because it is part of the snapshot file's vocabulary.
+pub use sqp_core::persist::ModelKind;

@@ -1,0 +1,627 @@
+//! The incremental retrain loop: log stream in, published snapshots out.
+//!
+//! Closes the paper's offline→online gap. Serving threads (or a log
+//! tailer) [`ingest`](Retrainer::ingest) raw records as traffic arrives; a
+//! background thread — spawned into a caller-owned
+//! [`scope`](std::thread::scope) so it can borrow the engine and can never
+//! outlive it — waits until enough new traffic has buffered, re-runs the
+//! full `segment → aggregate → reduce → train` pipeline over a sliding
+//! window of recent records
+//! ([`SlidingCorpus`]), writes the new
+//! generation to disk as a v3 snapshot, and publishes it through the
+//! engine's `Swap` cell. Serving never pauses: requests in flight finish
+//! on the old snapshot, later ones see the new one.
+//!
+//! ```text
+//! traffic ─▶ ingest ─▶ pending ─┐            (engine keeps serving)
+//!                               ▼
+//!              [retrain thread] drain → sliding window → train
+//!                               │
+//!                  save_snapshot(dir/snapshot-NNNNNNNN.sqps)
+//!                               │
+//!                  engine.publish(Arc<ModelSnapshot>)  — atomic swap
+//! ```
+
+use crate::error::SnapshotError;
+use crate::format::{save_snapshot, SnapshotMeta};
+use sqp_logsim::RawLogRecord;
+use sqp_serve::{ModelSnapshot, ServeEngine, TrainingConfig};
+use sqp_sessions::SlidingCorpus;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Parameters of the retrain loop.
+#[derive(Clone, Debug)]
+pub struct RetrainConfig {
+    /// Pipeline + model parameters for each retrain.
+    pub training: TrainingConfig,
+    /// Retrain as soon as this many new records have buffered. Lower =
+    /// fresher model, more training CPU; production deployments tune this
+    /// to their retrain cadence.
+    pub min_batch: usize,
+    /// Sliding training window, in raw records — old traffic beyond this
+    /// falls out of the next retrain.
+    pub window_records: usize,
+    /// Where snapshot generations are written (`snapshot-NNNNNNNN.sqps`).
+    /// `None` publishes in-memory only (tests, single-process setups).
+    pub snapshot_dir: Option<PathBuf>,
+    /// How many snapshot generations to keep on disk (min 1); older files
+    /// are deleted after each successful save.
+    pub keep: usize,
+    /// How long the loop sleeps between checks for new traffic or
+    /// shutdown.
+    pub poll: Duration,
+}
+
+impl Default for RetrainConfig {
+    fn default() -> Self {
+        Self {
+            training: TrainingConfig::default(),
+            min_batch: 1_024,
+            window_records: 1 << 20,
+            snapshot_dir: None,
+            keep: 3,
+            poll: Duration::from_millis(5),
+        }
+    }
+}
+
+/// What one successful retrain produced.
+#[derive(Clone, Debug)]
+pub struct PublishOutcome {
+    /// Metadata of the published snapshot (generation, corpus stats).
+    pub meta: SnapshotMeta,
+    /// Where the snapshot file was written, when a directory is configured
+    /// and the save succeeded.
+    pub path: Option<PathBuf>,
+    /// The serving engine's generation counter after the publish.
+    pub engine_generation: u64,
+    /// Why the on-disk save (or rotation) failed, if it did. The in-memory
+    /// publish has still happened — disk trouble degrades durability, not
+    /// serving freshness.
+    pub save_error: Option<String>,
+}
+
+/// Summary returned when the background loop exits.
+#[derive(Clone, Debug, Default)]
+pub struct RetrainReport {
+    /// Snapshot generations published by this loop.
+    pub published: u64,
+    /// Raw records ingested over the loop's lifetime.
+    pub records_ingested: u64,
+    /// Snapshot files written to disk.
+    pub snapshots_written: u64,
+    /// Save/rotation errors encountered. The loop publishes in-memory
+    /// through save failures — a full disk must not stop publication —
+    /// so entries here mean degraded durability, not a stale model.
+    pub errors: Vec<String>,
+}
+
+struct Queue {
+    pending: Vec<RawLogRecord>,
+    corpus: SlidingCorpus,
+}
+
+/// The incremental retrainer: a thread-safe ingest buffer plus the retrain
+/// loop that turns buffered traffic into published snapshot generations.
+///
+/// All methods take `&self`; the intended shape is one `Retrainer` shared
+/// between serving threads (ingest side) and one background loop (retrain
+/// side) inside a [`std::thread::scope`].
+///
+/// # Examples
+///
+/// Drive one retrain step synchronously (the background loop calls exactly
+/// this in a wait/retrain cycle):
+///
+/// ```
+/// use std::sync::Arc;
+/// use sqp_logsim::RawLogRecord;
+/// use sqp_serve::{EngineConfig, ModelSnapshot, ModelSpec, ServeEngine, TrainingConfig};
+/// use sqp_store::{RetrainConfig, Retrainer};
+///
+/// let rec = |machine, ts, q: &str| RawLogRecord {
+///     machine_id: machine, timestamp: ts, query: q.into(), clicks: vec![],
+/// };
+/// let seed: Vec<_> = (0..5)
+///     .flat_map(|u| [rec(u, 100, "maps"), rec(u, 150, "maps directions")])
+///     .collect();
+/// let training = TrainingConfig { model: ModelSpec::Adjacency, ..TrainingConfig::default() };
+/// let engine = ServeEngine::new(
+///     Arc::new(ModelSnapshot::from_raw_logs(&seed, &training)),
+///     EngineConfig::default(),
+/// );
+///
+/// let retrainer = Retrainer::new(
+///     RetrainConfig { training, ..RetrainConfig::default() },
+///     seed,
+/// );
+/// // Fresh traffic arrives with a new refinement…
+/// for u in 10..20 {
+///     retrainer.ingest(rec(u, 100, "maps"));
+///     retrainer.ingest(rec(u, 150, "maps satellite view"));
+/// }
+/// // …and one retrain step folds it into the serving model.
+/// let outcome = retrainer.retrain_once(&engine).unwrap();
+/// assert_eq!(outcome.meta.generation, 1);
+/// assert_eq!(engine.generation(), 1);
+/// let top = engine.suggest_context(&["maps"], 1);
+/// assert_eq!(top[0].query, "maps satellite view"); // new corpus wins
+/// ```
+pub struct Retrainer {
+    cfg: RetrainConfig,
+    queue: Mutex<Queue>,
+    arrived: Condvar,
+    stop: AtomicBool,
+    generations: AtomicU64,
+    ingested: AtomicU64,
+}
+
+impl Retrainer {
+    /// A retrainer whose first generation trains on `seed` (typically the
+    /// records behind the currently-serving snapshot) plus whatever
+    /// arrives before the first trigger.
+    ///
+    /// Generation numbering continues from the newest `snapshot-*.sqps`
+    /// already in `snapshot_dir`, so a process restart never reuses a
+    /// generation number — "lexicographic order is generation order"
+    /// (FORMAT.md) holds across restarts and rotation never deletes a
+    /// newer file in favour of a stale one.
+    pub fn new(cfg: RetrainConfig, seed: Vec<RawLogRecord>) -> Self {
+        let window = cfg.window_records.max(1);
+        let start_generation = cfg
+            .snapshot_dir
+            .as_deref()
+            .map(latest_generation_on_disk)
+            .unwrap_or(0);
+        Self {
+            cfg,
+            queue: Mutex::new(Queue {
+                pending: Vec::new(),
+                corpus: SlidingCorpus::with_seed(window, seed),
+            }),
+            arrived: Condvar::new(),
+            stop: AtomicBool::new(false),
+            generations: AtomicU64::new(start_generation),
+            ingested: AtomicU64::new(0),
+        }
+    }
+
+    /// The loop's configuration.
+    pub fn config(&self) -> &RetrainConfig {
+        &self.cfg
+    }
+
+    /// Buffer one raw record for the next retrain.
+    pub fn ingest(&self, record: RawLogRecord) {
+        self.ingest_batch(std::iter::once(record));
+    }
+
+    /// Buffer a batch of raw records, waking the loop if the trigger
+    /// threshold is now met.
+    pub fn ingest_batch<I: IntoIterator<Item = RawLogRecord>>(&self, records: I) {
+        let mut queue = self.queue.lock().expect("retrainer queue poisoned");
+        let before = queue.pending.len();
+        queue.pending.extend(records);
+        self.ingested
+            .fetch_add((queue.pending.len() - before) as u64, Ordering::Relaxed);
+        if queue.pending.len() >= self.cfg.min_batch {
+            self.arrived.notify_all();
+        }
+    }
+
+    /// Records buffered but not yet folded into a retrain.
+    pub fn pending(&self) -> usize {
+        self.queue
+            .lock()
+            .expect("retrainer queue poisoned")
+            .pending
+            .len()
+    }
+
+    /// The latest snapshot generation number. Starts at the newest
+    /// generation found in `snapshot_dir` (0 when none), so after a
+    /// restart this reflects on-disk history, not just this process's
+    /// publishes; [`RetrainReport::published`] counts the current run.
+    pub fn generations_published(&self) -> u64 {
+        self.generations.load(Ordering::Acquire)
+    }
+
+    /// Total records ingested so far.
+    pub fn records_ingested(&self) -> u64 {
+        self.ingested.load(Ordering::Relaxed)
+    }
+
+    /// Ask the background loop to drain remaining traffic into one final
+    /// retrain and exit. Safe to call from any thread, any number of
+    /// times.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.arrived.notify_all();
+    }
+
+    /// True once [`shutdown`](Retrainer::shutdown) has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Run one retrain step now: drain buffered records into the sliding
+    /// window, train, attempt to save `snapshot-NNNNNNNN.sqps`, and publish
+    /// into `engine`. Returns `None` when the window is empty (nothing to
+    /// train on). The background loop is this in a wait/step cycle; calling
+    /// it directly gives single-threaded setups a synchronous retrain.
+    ///
+    /// A disk failure never blocks the in-memory publish: the freshly
+    /// trained snapshot is swapped in regardless, and the save failure is
+    /// reported in [`PublishOutcome::save_error`] (a full disk must not
+    /// leave the engine serving an ever-staler model).
+    pub fn retrain_once(&self, engine: &ServeEngine) -> Option<PublishOutcome> {
+        let window: Vec<RawLogRecord> = {
+            let mut queue = self.queue.lock().expect("retrainer queue poisoned");
+            let drained: Vec<RawLogRecord> = queue.pending.drain(..).collect();
+            queue.corpus.append(drained);
+            if queue.corpus.is_empty() {
+                return None;
+            }
+            // Copy the window out so training runs without holding the
+            // ingest lock — serving threads keep buffering mid-retrain.
+            queue.corpus.records().to_vec()
+        };
+        let snapshot = ModelSnapshot::from_raw_logs(&window, &self.cfg.training);
+        let generation = self.generations.load(Ordering::Acquire) + 1;
+        let meta = SnapshotMeta::describe(&snapshot, generation, window.len() as u64);
+        let (path, save_error) = match &self.cfg.snapshot_dir {
+            Some(dir) => self.save_generation(dir, generation, &snapshot, &meta),
+            None => (None, None),
+        };
+        let engine_generation = engine.publish(Arc::new(snapshot));
+        self.generations.store(generation, Ordering::Release);
+        Some(PublishOutcome {
+            meta,
+            path,
+            engine_generation,
+            save_error,
+        })
+    }
+
+    /// Save one generation to disk and rotate, reporting failures instead
+    /// of propagating them (the caller publishes either way). A rotation
+    /// failure still returns the successfully written path.
+    fn save_generation(
+        &self,
+        dir: &Path,
+        generation: u64,
+        snapshot: &ModelSnapshot,
+        meta: &SnapshotMeta,
+    ) -> (Option<PathBuf>, Option<String>) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            return (None, Some(format!("create {}: {e}", dir.display())));
+        }
+        let path = dir.join(snapshot_file_name(generation));
+        if let Err(e) = save_snapshot(&path, snapshot, meta) {
+            return (None, Some(format!("save {}: {e}", path.display())));
+        }
+        match rotate_snapshots(dir, self.cfg.keep.max(1)) {
+            Ok(_) => (Some(path), None),
+            Err(e) => {
+                let err = format!("rotate {}: {e}", dir.display());
+                (Some(path), Some(err))
+            }
+        }
+    }
+
+    /// The blocking retrain loop: wait for `min_batch` buffered records
+    /// (or shutdown), retrain, publish, repeat; on shutdown, drain any
+    /// remaining traffic into one final generation. Runs until
+    /// [`shutdown`](Retrainer::shutdown).
+    pub fn run(&self, engine: &ServeEngine) -> RetrainReport {
+        let mut report = RetrainReport::default();
+        loop {
+            let stopping = {
+                let mut queue = self.queue.lock().expect("retrainer queue poisoned");
+                while queue.pending.len() < self.cfg.min_batch && !self.is_shutting_down() {
+                    let (guard, _) = self
+                        .arrived
+                        .wait_timeout(queue, self.cfg.poll)
+                        .expect("retrainer queue poisoned");
+                    queue = guard;
+                }
+                let stopping = self.is_shutting_down();
+                if stopping && queue.pending.is_empty() {
+                    break;
+                }
+                stopping
+            };
+            if let Some(outcome) = self.retrain_once(engine) {
+                report.published += 1;
+                if outcome.path.is_some() {
+                    report.snapshots_written += 1;
+                }
+                if let Some(err) = outcome.save_error {
+                    report.errors.push(err);
+                }
+            }
+            if stopping {
+                break;
+            }
+        }
+        report.records_ingested = self.records_ingested();
+        report
+    }
+
+    /// Spawn [`run`](Retrainer::run) as a background thread inside a
+    /// caller-owned scope. The scope guarantees the loop cannot outlive
+    /// the engine or the retrainer it borrows.
+    pub fn spawn<'scope, 'env>(
+        &'env self,
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        engine: &'env ServeEngine,
+    ) -> std::thread::ScopedJoinHandle<'scope, RetrainReport> {
+        scope.spawn(move || self.run(engine))
+    }
+}
+
+/// Canonical on-disk name of a snapshot generation
+/// (`snapshot-NNNNNNNN.sqps`, zero-padded so lexicographic order is
+/// generation order).
+pub fn snapshot_file_name(generation: u64) -> String {
+    format!("snapshot-{generation:08}.sqps")
+}
+
+/// The newest generation number among `snapshot-*.sqps` files in `dir`
+/// (0 when the directory is missing, unreadable, or holds none). Used to
+/// continue numbering across process restarts.
+pub fn latest_generation_on_disk(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name();
+            let name = name.to_str()?;
+            name.strip_prefix("snapshot-")?
+                .strip_suffix(".sqps")?
+                .parse::<u64>()
+                .ok()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Delete the oldest `snapshot-*.sqps` files in `dir` beyond `keep`.
+/// Returns how many files were removed.
+pub fn rotate_snapshots(dir: &Path, keep: usize) -> Result<usize, SnapshotError> {
+    let mut snaps: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("snapshot-") && n.ends_with(".sqps"))
+        })
+        .collect();
+    snaps.sort();
+    let mut removed = 0;
+    while snaps.len() > keep.max(1) {
+        std::fs::remove_file(snaps.remove(0))?;
+        removed += 1;
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqp_serve::{EngineConfig, ModelSpec};
+
+    fn rec(machine: u64, ts: u64, q: &str) -> RawLogRecord {
+        RawLogRecord {
+            machine_id: machine,
+            timestamp: ts,
+            query: q.into(),
+            clicks: vec![],
+        }
+    }
+
+    /// Six two-query sessions `start → {prefix}::next`. `machine_base`
+    /// keeps batches on distinct machines so the 30-minute rule does not
+    /// merge traffic from different batches into one session.
+    fn batch_records(prefix: &str, machine_base: u64) -> Vec<RawLogRecord> {
+        (machine_base..machine_base + 6)
+            .flat_map(|u| {
+                [
+                    rec(u, 100, "start"),
+                    rec(u, 150, &format!("{prefix}::next")),
+                ]
+            })
+            .collect()
+    }
+
+    fn seed_records(prefix: &str) -> Vec<RawLogRecord> {
+        batch_records(prefix, 0)
+    }
+
+    fn training() -> TrainingConfig {
+        TrainingConfig {
+            model: ModelSpec::Adjacency,
+            ..TrainingConfig::default()
+        }
+    }
+
+    fn engine(prefix: &str) -> ServeEngine {
+        ServeEngine::new(
+            Arc::new(ModelSnapshot::from_raw_logs(
+                &seed_records(prefix),
+                &training(),
+            )),
+            EngineConfig::default(),
+        )
+    }
+
+    #[test]
+    fn retrain_once_publishes_and_rotates_files() {
+        let dir = std::env::temp_dir().join(format!("sqp-retrain-rot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let e = engine("old");
+        let retrainer = Retrainer::new(
+            RetrainConfig {
+                training: training(),
+                snapshot_dir: Some(dir.clone()),
+                keep: 2,
+                ..RetrainConfig::default()
+            },
+            seed_records("old"),
+        );
+        for generation in 1..=4u64 {
+            retrainer.ingest_batch(batch_records(&format!("g{generation}"), generation * 100));
+            let outcome = retrainer.retrain_once(&e).unwrap();
+            assert_eq!(outcome.save_error, None);
+            assert_eq!(outcome.meta.generation, generation);
+            assert_eq!(outcome.engine_generation, generation);
+            assert!(outcome.path.as_ref().unwrap().exists());
+        }
+        let mut kept: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        kept.sort();
+        assert_eq!(kept, ["snapshot-00000003.sqps", "snapshot-00000004.sqps"]);
+        assert_eq!(retrainer.generations_published(), 4);
+        // The sliding window kept the newest traffic: g4's refinement is
+        // among the served suggestions.
+        let suggestions = e.suggest_context(&["start"], 10);
+        assert!(suggestions.iter().any(|s| s.query == "g4::next"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retrain_once_on_empty_window_is_a_noop() {
+        let e = engine("old");
+        let retrainer = Retrainer::new(RetrainConfig::default(), Vec::new());
+        assert!(retrainer.retrain_once(&e).is_none());
+        assert_eq!(e.generation(), 0);
+    }
+
+    #[test]
+    fn sliding_window_forgets_old_traffic() {
+        let e = engine("old");
+        let retrainer = Retrainer::new(
+            RetrainConfig {
+                training: training(),
+                // Window smaller than one seed corpus: only the newest
+                // records survive.
+                window_records: 12,
+                ..RetrainConfig::default()
+            },
+            seed_records("old"),
+        );
+        retrainer.ingest_batch(batch_records("new", 100));
+        retrainer.retrain_once(&e).unwrap();
+        let suggestions = e.suggest_context(&["start"], 10);
+        assert!(suggestions.iter().any(|s| s.query == "new::next"));
+        assert!(
+            !suggestions.iter().any(|s| s.query == "old::next"),
+            "old traffic should have slid out of the window"
+        );
+    }
+
+    #[test]
+    fn generation_numbering_continues_across_restarts() {
+        let dir = std::env::temp_dir().join(format!("sqp-retrain-gen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A previous run left generation 5 behind (content irrelevant for
+        // numbering) plus an unrelated file that must be ignored.
+        std::fs::write(dir.join("snapshot-00000005.sqps"), b"stale").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"x").unwrap();
+
+        let e = engine("old");
+        let retrainer = Retrainer::new(
+            RetrainConfig {
+                training: training(),
+                snapshot_dir: Some(dir.clone()),
+                keep: 2,
+                ..RetrainConfig::default()
+            },
+            seed_records("old"),
+        );
+        assert_eq!(retrainer.generations_published(), 5, "seeded from disk");
+        let outcome = retrainer.retrain_once(&e).unwrap();
+        // The "restarted" process publishes generation 6, and rotation
+        // (keep 2) retires the pre-restart file, never the new one — the
+        // lexicographically-latest file is always the freshest model.
+        assert_eq!(outcome.meta.generation, 6);
+        assert!(dir.join("snapshot-00000006.sqps").exists());
+        retrainer.ingest_batch(batch_records("fresh", 100));
+        retrainer.retrain_once(&e).unwrap();
+        let mut kept: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|f| {
+                let name = f.unwrap().file_name().into_string().unwrap();
+                name.ends_with(".sqps").then_some(name)
+            })
+            .collect();
+        kept.sort();
+        assert_eq!(kept, ["snapshot-00000006.sqps", "snapshot-00000007.sqps"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_failure_still_publishes_in_memory() {
+        let blocker = std::env::temp_dir().join(format!("sqp-retrain-blk-{}", std::process::id()));
+        // snapshot_dir points at a *file*, so create_dir_all fails.
+        std::fs::write(&blocker, b"in the way").unwrap();
+        let e = engine("old");
+        let retrainer = Retrainer::new(
+            RetrainConfig {
+                training: training(),
+                snapshot_dir: Some(blocker.clone()),
+                ..RetrainConfig::default()
+            },
+            seed_records("old"),
+        );
+        retrainer.ingest_batch(batch_records("fresh", 100));
+        let outcome = retrainer.retrain_once(&e).unwrap();
+        assert!(outcome.save_error.is_some(), "save should have failed");
+        assert!(outcome.path.is_none());
+        // Serving freshness is preserved regardless of the disk.
+        assert_eq!(outcome.engine_generation, 1);
+        assert_eq!(e.generation(), 1);
+        assert!(e
+            .suggest_context(&["start"], 10)
+            .iter()
+            .any(|s| s.query == "fresh::next"));
+        std::fs::remove_file(&blocker).unwrap();
+    }
+
+    #[test]
+    fn background_loop_drains_on_shutdown() {
+        let e = engine("old");
+        let retrainer = Retrainer::new(
+            RetrainConfig {
+                training: training(),
+                min_batch: 12,
+                ..RetrainConfig::default()
+            },
+            seed_records("old"),
+        );
+        let report = std::thread::scope(|scope| {
+            let handle = retrainer.spawn(scope, &e);
+            retrainer.ingest_batch(batch_records("fresh", 100));
+            // Wait for the triggered retrain to land, then stop.
+            while retrainer.generations_published() == 0 {
+                std::thread::yield_now();
+            }
+            retrainer.ingest(rec(99, 100, "tail"));
+            retrainer.shutdown();
+            handle.join().unwrap()
+        });
+        // One triggered retrain plus the shutdown drain of the tail record.
+        assert_eq!(report.published, 2);
+        assert_eq!(e.generation(), 2);
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert_eq!(report.records_ingested, 13);
+        assert_eq!(retrainer.pending(), 0);
+    }
+}

@@ -6,9 +6,11 @@
 //! cargo run --release --example custom_corpus
 //! ```
 
-use sqp::core::{Recommender, Vmm, VmmConfig};
+use sqp::core::{Vmm, VmmConfig};
 use sqp::logsim::record;
+use sqp::serve::ModelSnapshot;
 use sqp::sessions::{aggregate, reduce, segment_default};
+use sqp::store::{load_snapshot, save_snapshot, SnapshotMeta};
 use sqp_common::Interner;
 
 /// A tiny hand-written log in the paper's Table III format:
@@ -45,44 +47,39 @@ fn main() {
     // scale).
     let (reduced, _) = reduce(&aggregated, 0);
 
-    // 3. Train and persist (the nightly build).
+    // 3. Train and persist the *full snapshot* — model plus the interner
+    //    its ids are relative to — as one v3 file (the nightly build).
     let vmm = Vmm::train(&reduced.sessions, VmmConfig::with_epsilon(0.05));
-    let blob = vmm.to_bytes();
-    let path = std::env::temp_dir().join("sqp_custom_corpus.vmm");
-    std::fs::write(&path, &blob).expect("write model");
+    let node_count = vmm.node_count();
+    let trained = ModelSnapshot::from_parts(interner, Box::new(vmm), reduced.total_sessions());
+    let meta = SnapshotMeta::describe(&trained, 0, records.len() as u64);
+    let path = std::env::temp_dir().join("sqp_custom_corpus.sqps");
+    save_snapshot(&path, &trained, &meta).expect("write snapshot");
     println!(
-        "\ntrained VMM: {} PST nodes, serialized to {} ({} bytes)",
-        vmm.node_count(),
+        "\ntrained VMM: {} PST nodes, snapshot at {} ({} bytes)",
+        node_count,
         path.display(),
-        blob.len()
+        std::fs::metadata(&path).expect("snapshot written").len()
     );
 
-    // 4. Load in the "serving process" and recommend.
-    let served = Vmm::from_bytes(std::fs::read(&path).expect("read model").into())
-        .expect("valid model file");
-    let context = [
-        interner.get("kidney stones").unwrap(),
-        interner.get("kidney stone symptoms").unwrap(),
-    ];
-    println!("\nuser context: kidney stones => kidney stone symptoms");
-    println!("suggestions:");
-    for rec in served.recommend(&context, 3) {
-        println!(
-            "  {:<38} (P = {:.3})",
-            interner.resolve(rec.query),
-            rec.score
-        );
-    }
-
-    let context2 = [interner.get("nokia n73").unwrap()];
-    println!("\nuser context: nokia n73");
-    println!("suggestions:");
-    for rec in served.recommend(&context2, 3) {
-        println!(
-            "  {:<38} (P = {:.3})",
-            interner.resolve(rec.query),
-            rec.score
-        );
+    // 4. Warm-start the "serving process" from the file alone: no raw
+    //    logs, no separate interner to ship — strings in, strings out.
+    let (served, served_meta) = load_snapshot(&path).expect("valid snapshot file");
+    println!(
+        "loaded generation {} ({} sessions, {} distinct queries)",
+        served_meta.generation,
+        served_meta.trained_sessions,
+        served.vocabulary_size()
+    );
+    for context in [
+        &["kidney stones", "kidney stone symptoms"][..],
+        &["nokia n73"][..],
+    ] {
+        println!("\nuser context: {}", context.join(" => "));
+        println!("suggestions:");
+        for s in served.suggest(context, 3) {
+            println!("  {:<38} (P = {:.3})", s.query, s.score);
+        }
     }
     std::fs::remove_file(&path).ok();
 }

@@ -14,6 +14,7 @@ pub use sqp_eval as eval;
 pub use sqp_logsim as logsim;
 pub use sqp_serve as serve;
 pub use sqp_sessions as sessions;
+pub use sqp_store as store;
 
 pub use service::{RecommenderService, ServiceConfig, ServiceModel, Suggestion};
 
@@ -23,6 +24,10 @@ pub mod prelude {
     pub use sqp_common::{QueryId, QuerySeq};
     pub use sqp_core::Recommender;
     pub use sqp_serve::{EngineConfig, ModelSnapshot, ServeEngine, SuggestRequest};
+    pub use sqp_store::{
+        load_snapshot, save_snapshot, RetrainConfig, Retrainer, SnapshotError, SnapshotMeta,
+        WarmStart,
+    };
 }
 
 // Compile and run the README's Rust snippets as doc-tests so the quickstart

@@ -41,6 +41,56 @@ impl RecommenderService {
         Self { snapshot }
     }
 
+    /// Warm-start a service from a snapshot file written by
+    /// [`save`](RecommenderService::save) (or any v3 snapshot): no raw
+    /// logs, no retraining — milliseconds instead of a full pipeline run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sqp::prelude::*;
+    /// use sqp::logsim::RawLogRecord;
+    ///
+    /// let rec = |machine, ts, q: &str| RawLogRecord {
+    ///     machine_id: machine, timestamp: ts, query: q.into(), clicks: vec![],
+    /// };
+    /// let records: Vec<_> = (0..8)
+    ///     .flat_map(|u| [rec(u, 100, "kidney stones"), rec(u, 200, "kidney stone symptoms")])
+    ///     .collect();
+    /// let svc = RecommenderService::from_raw_logs(&records, &ServiceConfig {
+    ///     model: ServiceModel::Adjacency,
+    ///     ..ServiceConfig::default()
+    /// });
+    ///
+    /// let path = std::env::temp_dir().join(format!("sqp-doc-svc-{}.sqps", std::process::id()));
+    /// svc.save(&path, 0).unwrap();
+    /// let warm = RecommenderService::load(&path).unwrap();
+    /// assert_eq!(warm.suggest(&["kidney stones"], 1), svc.suggest(&["kidney stones"], 1));
+    /// # std::fs::remove_file(&path).unwrap();
+    /// ```
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, sqp_store::SnapshotError> {
+        let (snapshot, _meta) = sqp_store::load_snapshot(path)?;
+        Ok(Self::from_snapshot(Arc::new(snapshot)))
+    }
+
+    /// Persist the service's snapshot (model + interner + metadata) as one
+    /// v3 file at `path`, written atomically. `generation` tags which
+    /// (re)train produced it — see `FORMAT.md` for the byte layout.
+    pub fn save(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        generation: u64,
+    ) -> Result<(), sqp_store::SnapshotError> {
+        let meta = sqp_store::SnapshotMeta::describe(
+            &self.snapshot,
+            generation,
+            // Raw-record provenance is not tracked at service level; the
+            // retrainer records it when it owns the corpus window.
+            0,
+        );
+        sqp_store::save_snapshot(path, &self.snapshot, &meta)
+    }
+
     /// Top-`k` suggestions for the session so far (oldest query first).
     /// Empty when the context is uncovered.
     ///
@@ -208,6 +258,37 @@ mod tests {
         // Only the 10x session survives; the deep refinement is gone.
         assert!(svc.covers(&["kidney stones"]));
         assert!(!svc.covers(&["kidney stone symptoms"]));
+    }
+
+    #[test]
+    fn save_load_roundtrip_per_model() {
+        let dir = std::env::temp_dir().join(format!("sqp-svc-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, model) in [
+            ("adj", ServiceModel::Adjacency),
+            ("cooc", ServiceModel::Cooccurrence),
+            ("ngram", ServiceModel::NGram),
+            (
+                "backoff",
+                ServiceModel::Backoff(sqp_core::BackoffConfig::default()),
+            ),
+            ("vmm", ServiceModel::Vmm(VmmConfig::with_epsilon(0.05))),
+        ] {
+            let svc = service(model);
+            let path = dir.join(format!("{name}.sqps"));
+            svc.save(&path, 4).unwrap();
+            let warm = RecommenderService::load(&path).unwrap();
+            assert_eq!(warm.model_name(), svc.model_name());
+            assert_eq!(
+                warm.suggest(&["kidney stones"], 3),
+                svc.suggest(&["kidney stones"], 3),
+                "{name}"
+            );
+        }
+        // The MVMM default has no persistable form — typed error, no panic.
+        let svc = service(ServiceModel::Mvmm(MvmmConfig::small()));
+        assert!(svc.save(dir.join("mvmm.sqps"), 0).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -73,13 +73,21 @@ fn persistence_roundtrip_preserves_evaluation_metrics() {
     let gt = &p.ground_truth;
 
     let vmm = Vmm::train(sessions, VmmConfig::with_epsilon(0.05));
-    let restored = Vmm::from_bytes(vmm.to_bytes()).expect("roundtrip");
+    let (kind, blob) = sqp::core::model_to_bytes(&vmm).expect("serialize");
+    assert_eq!(kind, sqp::core::ModelKind::Vmm);
+    let restored = sqp::core::model_from_bytes(kind, blob).expect("roundtrip");
 
-    assert_eq!(overall_ndcg(&vmm, gt, 5), overall_ndcg(&restored, gt, 5));
-    assert_eq!(overall_coverage(&vmm, gt), overall_coverage(&restored, gt));
+    assert_eq!(
+        overall_ndcg(&vmm, gt, 5),
+        overall_ndcg(restored.as_ref(), gt, 5)
+    );
+    assert_eq!(
+        overall_coverage(&vmm, gt),
+        overall_coverage(restored.as_ref(), gt)
+    );
     assert_eq!(
         mean_reciprocal_rank(&vmm, gt, 5),
-        mean_reciprocal_rank(&restored, gt, 5)
+        mean_reciprocal_rank(restored.as_ref(), gt, 5)
     );
 }
 
