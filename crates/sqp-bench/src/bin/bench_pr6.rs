@@ -1,0 +1,92 @@
+//! PR 6 resilience snapshot: runs the seeded chaos soak and the overload
+//! scenario, and writes `BENCH_PR6.json`.
+//!
+//! Three questions an operator actually asks about the resilient stack:
+//!
+//! * **Does the failure machinery fire, and is it replayable?** (breaker
+//!   trips/recoveries, quarantines, rollbacks, save retries — and the same
+//!   seed produces a bit-identical chaos digest twice)
+//! * **What does overload shedding cost?** (shed vs answered under a
+//!   bounded in-flight budget with every serve strike stalled)
+//! * **What is serve latency under faults?** (p50/p99 of answered requests
+//!   while the stall faults are live)
+//!
+//! Usage: `cargo run --release -p sqp-bench --bin bench_pr6 [out.json]`
+
+use sqp_bench::chaos::{run_overload_soak, run_replay_soak};
+
+const SEED: u64 = 42;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR6.json".into());
+
+    eprintln!("replay soak (seed {SEED})…");
+    let replay = run_replay_soak(SEED);
+    eprintln!("replay soak again (verifying bit-identical digest)…");
+    let again = run_replay_soak(SEED);
+    assert_eq!(
+        replay.digest, again.digest,
+        "chaos digest must replay bit-identically from the seed"
+    );
+    assert_eq!(replay.script, again.script, "storyline must replay");
+    let h = &replay.health;
+    eprintln!(
+        "  digest {:#018x} (replayed), script: {}",
+        replay.digest,
+        replay.script.join(" → ")
+    );
+    eprintln!(
+        "  breaker trips {} / recoveries {}, quarantined {}, rollbacks {}, save retries {}",
+        h.breaker_trips, h.breaker_recoveries, h.quarantined, h.rollbacks, h.save_retries
+    );
+
+    eprintln!("overload soak (budget 2, 8 stalled workers)…");
+    let overload = run_overload_soak(SEED);
+    eprintln!(
+        "  {}/{} answered, {} shed, p50 {:.0} µs, p99 {:.0} µs",
+        overload.answered, overload.total, overload.shed, overload.p50_us, overload.p99_us
+    );
+    assert_eq!(overload.answered + overload.shed, overload.total);
+    assert_eq!(overload.in_flight_after, 0, "permits leaked");
+
+    let json = format!(
+        "{{\n  \"seed\": {SEED},\n  \"chaos_digest\": \"{:#018x}\",\n  \
+         \"digest_replayed_identically\": true,\n  \
+         \"script\": \"{}\",\n  \
+         \"serving_requests_answered\": {},\n  \
+         \"breaker_trips\": {},\n  \"breaker_recoveries\": {},\n  \
+         \"quarantined\": {},\n  \"rollbacks\": {},\n  \"save_retries\": {},\n  \
+         \"injected\": {{ \"panics\": {}, \"corrupt_writes\": {}, \"write_errors\": {}, \
+         \"short_reads\": {}, \"delays\": {} }},\n  \
+         \"overload\": {{ \"total\": {}, \"answered\": {}, \"shed\": {}, \
+         \"p50_us\": {:.1}, \"p99_us\": {:.1} }},\n  \
+         \"notes\": \"replay soak: 4 workers x 200 requests + 7-step scripted \
+         supervised-retrain storyline (2 training panics -> breaker trip, cooldown -> \
+         half-open recovery, corrupt write -> quarantine+rollback, 2 write errors -> \
+         retry/backoff, short read -> second quarantine); digest verified bit-identical \
+         across two runs. overload soak: max_in_flight=2, 8 workers, every serve strike \
+         stalled 2 ms; latencies are answered requests under those faults\"\n}}\n",
+        replay.digest,
+        replay.script.join(" -> "),
+        replay.served,
+        h.breaker_trips,
+        h.breaker_recoveries,
+        h.quarantined,
+        h.rollbacks,
+        h.save_retries,
+        replay.stats.panics,
+        replay.stats.corrupt_writes,
+        replay.stats.write_errors,
+        replay.stats.short_reads,
+        replay.stats.delays,
+        overload.total,
+        overload.answered,
+        overload.shed,
+        overload.p50_us,
+        overload.p99_us,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_PR6.json");
+    eprintln!("wrote {out_path}");
+}

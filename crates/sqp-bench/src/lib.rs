@@ -9,6 +9,7 @@
 #![deny(missing_docs)]
 
 pub mod baseline;
+pub mod chaos;
 pub mod harness;
 pub mod serve_loop;
 

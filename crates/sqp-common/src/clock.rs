@@ -1,0 +1,63 @@
+//! The time seam: wall-clock reads and sleeps behind a trait.
+//!
+//! Resilience code waits — retry backoff, circuit-breaker cooldowns — and
+//! waiting is untestable against the real clock (a chaos run exercising a
+//! minutes-long cooldown must not take minutes). Every component that
+//! sleeps or compares durations does so through [`Clock`]; production uses
+//! [`RealClock`], and the fault-injection layer substitutes a virtual clock
+//! whose `sleep` advances time instantly and deterministically.
+
+use std::time::Duration;
+
+/// Monotonic time reads and sleeps, as an injectable seam.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since an arbitrary fixed origin. Only differences are
+    /// meaningful; the origin is stable for the life of the clock.
+    fn now_millis(&self) -> u64;
+
+    /// Block the calling thread for (at least) `dur` — or, for a virtual
+    /// clock, advance time by `dur` without blocking.
+    fn sleep(&self, dur: Duration);
+}
+
+/// The process's real monotonic clock.
+///
+/// # Examples
+///
+/// ```
+/// use sqp_common::clock::{Clock, RealClock};
+/// use std::time::Duration;
+///
+/// let t0 = RealClock.now_millis();
+/// RealClock.sleep(Duration::from_millis(2));
+/// assert!(RealClock.now_millis() >= t0);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealClock;
+
+impl Clock for RealClock {
+    fn now_millis(&self) -> u64 {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+        // Monotonic origin fixed at first use; only gaps matter.
+        static ORIGIN: OnceLock<Instant> = OnceLock::new();
+        ORIGIN.get_or_init(Instant::now).elapsed().as_millis() as u64
+    }
+
+    fn sleep(&self, dur: Duration) {
+        std::thread::sleep(dur);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let a = RealClock.now_millis();
+        RealClock.sleep(Duration::from_millis(1));
+        let b = RealClock.now_millis();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,122 @@
+//! The filesystem seam: every snapshot-store disk operation behind a trait.
+//!
+//! Production code talks to the real filesystem through [`RealFs`]; the
+//! fault-injection layer (`sqp-faults`) wraps the same trait to inject disk
+//! write/read errors, short reads, and corrupt-on-write faults at exactly
+//! the seams the store exercises. Keeping the trait here (rather than in
+//! the store) lets the chaos crate stay dependency-light and lets any crate
+//! adopt the seam without a store dependency.
+//!
+//! The trait is deliberately small: it covers the handful of operations the
+//! snapshot lifecycle performs (whole-file read, atomic whole-file write,
+//! rename, delete, directory listing) rather than mirroring `std::fs`.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Filesystem operations the snapshot store performs, as an injectable seam.
+///
+/// All methods are whole-operation granularity (no partial-write streaming):
+/// a fault injector can therefore model the interesting failure classes —
+/// an errored write, a torn/corrupted file, a short read — without having
+/// to emulate POSIX byte-level semantics.
+pub trait FsIo: Send + Sync {
+    /// Read the entire file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Write `bytes` to `path` atomically: either the old content (or
+    /// absence) survives, or the full new content does — readers never
+    /// observe a half-written file at `path`.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Rename `from` to `to` (same filesystem).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Delete the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Create `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Paths of the entries directly inside `dir`, in unspecified order.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+/// The real filesystem: thin delegation to `std::fs`.
+///
+/// # Examples
+///
+/// ```
+/// use sqp_common::fsio::{FsIo, RealFs};
+///
+/// let dir = std::env::temp_dir().join(format!("sqp-fsio-doc-{}", std::process::id()));
+/// RealFs.create_dir_all(&dir).unwrap();
+/// let path = dir.join("probe.bin");
+/// RealFs.write_atomic(&path, b"hello").unwrap();
+/// assert_eq!(RealFs.read(&path).unwrap(), b"hello");
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealFs;
+
+impl FsIo for RealFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        // Write-to-temp + rename: the canonical atomic publish. The temp
+        // file lives next to the target so the rename never crosses a
+        // filesystem boundary.
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        std::fs::read_dir(dir)?
+            .map(|entry| entry.map(|e| e.path()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_atomic_leaves_no_tmp_file() {
+        let dir = std::env::temp_dir().join(format!("sqp-fsio-test-{}", std::process::id()));
+        RealFs.create_dir_all(&dir).unwrap();
+        let path = dir.join("value.bin");
+        RealFs.write_atomic(&path, b"v1").unwrap();
+        RealFs.write_atomic(&path, b"v2").unwrap();
+        assert_eq!(RealFs.read(&path).unwrap(), b"v2");
+        let listed = RealFs.list(&dir).unwrap();
+        assert_eq!(listed, vec![path.clone()], "tmp file left behind");
+        RealFs.rename(&path, &dir.join("renamed.bin")).unwrap();
+        RealFs.remove_file(&dir.join("renamed.bin")).unwrap();
+        assert!(RealFs.list(&dir).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_missing_is_a_typed_error() {
+        let err = RealFs.read(Path::new("/nonexistent/sqp-fsio")).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+}

@@ -1,0 +1,63 @@
+//! The chaos seam: named injection points crossed by resilient code.
+//!
+//! A fault seam that is not exercised does not exist. Components that must
+//! survive thread panics and stalls announce each crossing of a hazardous
+//! boundary — "about to train", "serving this shard" — through
+//! [`Hazard::strike`]. In production the hazard is [`NoHazard`] (a no-op
+//! virtual call, nanoseconds); under chaos testing the fault plan's hazard
+//! may stall the thread (a slow shard) or panic (a crashed worker) at
+//! deterministic, seed-replayable points.
+//!
+//! Site names are dotted paths owned by the crossing component
+//! (`"store.retrain.train"`, `"serve.shard.3"`). A hazard implementation
+//! matches on them; unknown sites must be treated as no-ops so components
+//! can add seams without breaking existing fault plans.
+
+/// A chaos injection point. Implementations may sleep or panic; they must
+/// not otherwise affect the caller.
+pub trait Hazard: Send + Sync {
+    /// Announce that the calling thread is crossing the named seam. A chaos
+    /// implementation may stall the thread here, or panic to simulate a
+    /// crashed worker — callers that supervise work (e.g. the retrain loop)
+    /// catch such panics at their isolation boundary.
+    fn strike(&self, site: &str);
+}
+
+/// The production hazard: nothing ever happens.
+///
+/// # Examples
+///
+/// ```
+/// use sqp_common::hazard::{Hazard, NoHazard};
+///
+/// NoHazard.strike("store.retrain.train"); // a no-op
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoHazard;
+
+impl Hazard for NoHazard {
+    #[inline]
+    fn strike(&self, _site: &str) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn custom_hazards_observe_sites() {
+        struct Counting(AtomicUsize);
+        impl Hazard for Counting {
+            fn strike(&self, site: &str) {
+                if site.starts_with("serve.") {
+                    self.0.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let h = Counting(AtomicUsize::new(0));
+        h.strike("serve.shard.0");
+        h.strike("store.retrain.train");
+        assert_eq!(h.0.load(Ordering::Relaxed), 1);
+    }
+}

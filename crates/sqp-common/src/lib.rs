@@ -19,6 +19,10 @@
 //!   the serve path (zero-allocation counting, binary-search lookups);
 //! * [`rng`] — a seedable xoshiro256++ PRNG (the workspace builds with no
 //!   external crates, so this replaces `rand`);
+//! * [`fsio`], [`clock`], [`hazard`] — the fault seams: filesystem, time,
+//!   and chaos-injection-point traits the resilient serving stack crosses,
+//!   with real/no-op production implementations (`sqp-faults` provides the
+//!   fault-injecting ones);
 //! * [`bytes`] — little-endian byte buffers for the wire codecs;
 //! * [`mem`] — approximate heap-size accounting for the memory-footprint
 //!   experiment (Table VII of the paper).
@@ -27,9 +31,12 @@
 
 pub mod arena;
 pub mod bytes;
+pub mod clock;
 pub mod counter;
 pub mod dist;
+pub mod fsio;
 pub mod hash;
+pub mod hazard;
 pub mod hist;
 pub mod intern;
 pub mod math;
@@ -38,8 +45,11 @@ pub mod rng;
 pub mod topk;
 
 pub use arena::{SuffixTrie, TrieBuilder};
+pub use clock::{Clock, RealClock};
 pub use counter::Counter;
+pub use fsio::{FsIo, RealFs};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hazard::{Hazard, NoHazard};
 pub use hist::Histogram;
 pub use intern::{Interner, SharedInterner};
 pub use mem::HeapSize;

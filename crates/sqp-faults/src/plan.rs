@@ -1,0 +1,85 @@
+//! The fault plan: a declarative, replayable chaos schedule.
+//!
+//! A [`FaultPlan`] is data, not behavior — it names *which* events fault
+//! and with what probability, and carries the seed that makes every
+//! probabilistic draw replayable. The [`Chaos`](crate::Chaos) runtime
+//! executes the plan; two runs built from the same plan make identical
+//! fault decisions (asserted by the chaos soak's digest comparison).
+//!
+//! Two scheduling styles compose:
+//!
+//! * **Indexed schedules** (`write_error_on`, `corrupt_write_on`, …) name
+//!   exact 1-based event ordinals — "the 2nd snapshot write is corrupted".
+//!   These make the marquee chaos events (a quarantine, a breaker trip)
+//!   certain rather than merely probable, which keeps soak assertions
+//!   sharp.
+//! * **Seeded probabilities** (`p_delay`) draw from a per-site
+//!   xoshiro256++ stream derived from `seed ^ fx_hash(site)`, so the k-th
+//!   decision at any given site is a pure function of the seed no matter
+//!   how threads interleave *between* sites.
+
+use std::time::Duration;
+
+/// A declarative chaos schedule. See the module docs for semantics.
+///
+/// The default plan injects nothing — every field empty or zero — so a
+/// plan can be built by naming only the faults a scenario needs.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for all probabilistic draws (per-site streams derive from it).
+    pub seed: u64,
+    /// 1-based global read ordinals that fail with an injected IO error.
+    pub read_error_on: Vec<u64>,
+    /// 1-based global read ordinals that return truncated contents.
+    pub short_read_on: Vec<u64>,
+    /// 1-based global write ordinals that fail with an injected IO error.
+    pub write_error_on: Vec<u64>,
+    /// 1-based global write ordinals whose bytes are corrupted in flight
+    /// (one deterministic byte flip) before reaching the disk.
+    pub corrupt_write_on: Vec<u64>,
+    /// Exact hazard sites where panics may be injected.
+    pub panic_sites: Vec<String>,
+    /// 1-based per-site strike ordinals (at `panic_sites`) that panic.
+    pub panic_on: Vec<u64>,
+    /// Hazard-site prefixes eligible for injected stalls (e.g. `"serve."`).
+    pub delay_site_prefixes: Vec<String>,
+    /// Probability that a strike at a delay-eligible site stalls.
+    pub p_delay: f64,
+    /// Stall length for injected delays.
+    pub delay: Duration,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (identical to `Default`); chaos wiring
+    /// with this plan behaves exactly like production wiring.
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// True when no fault of any kind can fire.
+    pub fn is_quiet(&self) -> bool {
+        self.read_error_on.is_empty()
+            && self.short_read_on.is_empty()
+            && self.write_error_on.is_empty()
+            && self.corrupt_write_on.is_empty()
+            && (self.panic_sites.is_empty() || self.panic_on.is_empty())
+            && (self.p_delay <= 0.0 || self.delay_site_prefixes.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_quiet() {
+        assert!(FaultPlan::default().is_quiet());
+        assert!(FaultPlan::quiet(7).is_quiet());
+        let mut p = FaultPlan::quiet(7);
+        p.corrupt_write_on = vec![2];
+        assert!(!p.is_quiet());
+    }
+}

@@ -23,6 +23,7 @@
 use crate::session::{SessionTracker, TrackOutcome, TrackerConfig};
 use crate::snapshot::{ModelSnapshot, Suggestion};
 use crate::swap::Swap;
+use sqp_common::hazard::{Hazard, NoHazard};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -31,6 +32,48 @@ use std::sync::Arc;
 pub struct EngineConfig {
     /// Session-tracker sizing and eviction parameters.
     pub tracker: TrackerConfig,
+    /// Admission-control budget: maximum requests simultaneously in flight
+    /// through the `try_*` serve paths before [`ServeEngine::admit`] sheds
+    /// with [`Overloaded`]. `0` (the default) disables the limit.
+    pub max_in_flight: usize,
+}
+
+/// Typed rejection from [`ServeEngine::admit`]: the in-flight budget is
+/// exhausted and the request was shed instead of queued.
+///
+/// Shedding is deliberate back-pressure — under overload, answering fewer
+/// requests quickly beats answering all of them late. Callers translate
+/// this into their transport's "retry later" (HTTP 503 + Retry-After).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Overloaded {
+    /// The configured budget that was exhausted.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "serve engine overloaded ({} requests in flight)",
+            self.limit
+        )
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+/// RAII admission token from [`ServeEngine::admit`]; the in-flight slot is
+/// released when the permit drops (including on panic, so an injected
+/// worker crash cannot leak budget).
+#[derive(Debug)]
+pub struct InFlightPermit<'a> {
+    in_flight: &'a AtomicU64,
+}
+
+impl Drop for InFlightPermit<'_> {
+    fn drop(&mut self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// One entry of a batched suggestion request.
@@ -52,6 +95,8 @@ pub struct EngineStats {
     pub suggests: u64,
     /// Snapshots published.
     pub publishes: u64,
+    /// Requests shed by admission control ([`ServeEngine::admit`] refusals).
+    pub shed: u64,
 }
 
 /// A concurrent query-suggestion server over a hot-swappable model.
@@ -87,17 +132,106 @@ pub struct ServeEngine {
     current: Swap<ModelSnapshot>,
     tracks: AtomicU64,
     suggests: AtomicU64,
+    max_in_flight: usize,
+    in_flight: AtomicU64,
+    shed: AtomicU64,
+    hazard: Arc<dyn Hazard>,
+    /// Precomputed `"serve.shard.N"` hazard-site names, one per stripe, so
+    /// the hot path never formats strings to announce a seam crossing.
+    shard_sites: Box<[String]>,
 }
 
 impl ServeEngine {
-    /// Build an engine serving `snapshot`.
+    /// Build an engine serving `snapshot` with the production (no-op)
+    /// hazard.
     pub fn new(snapshot: Arc<ModelSnapshot>, cfg: EngineConfig) -> Self {
+        Self::with_hazard(snapshot, cfg, Arc::new(NoHazard))
+    }
+
+    /// Build an engine whose serve-path chaos seams strike `hazard` —
+    /// production code never needs this; fault-injection harnesses pass the
+    /// chaos runtime here to stall or crash requests at deterministic
+    /// points.
+    pub fn with_hazard(
+        snapshot: Arc<ModelSnapshot>,
+        cfg: EngineConfig,
+        hazard: Arc<dyn Hazard>,
+    ) -> Self {
+        let tracker = SessionTracker::new(cfg.tracker);
+        let shard_sites = (0..tracker.num_shards())
+            .map(|i| format!("serve.shard.{i}"))
+            .collect();
         Self {
-            tracker: SessionTracker::new(cfg.tracker),
+            tracker,
             current: Swap::new(snapshot),
             tracks: AtomicU64::new(0),
             suggests: AtomicU64::new(0),
+            max_in_flight: cfg.max_in_flight,
+            in_flight: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            hazard,
+            shard_sites,
         }
+    }
+
+    /// Reserve an in-flight slot, or shed with [`Overloaded`] when the
+    /// configured budget (`max_in_flight`, 0 = unlimited) is exhausted. The
+    /// returned permit releases the slot on drop — hold it across the work
+    /// the admission should cover. The `try_*` serve methods bundle this;
+    /// `admit` is public for callers wrapping their own request pipelines.
+    pub fn admit(&self) -> Result<InFlightPermit<'_>, Overloaded> {
+        let occupied = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if self.max_in_flight != 0 && occupied >= self.max_in_flight as u64 {
+            // Roll back the optimistic reservation and count the shed.
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(Overloaded {
+                limit: self.max_in_flight,
+            });
+        }
+        Ok(InFlightPermit {
+            in_flight: &self.in_flight,
+        })
+    }
+
+    /// Requests currently holding admission permits.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Admission-controlled [`suggest`](Self::suggest).
+    pub fn try_suggest(
+        &self,
+        user: u64,
+        k: usize,
+        now: u64,
+    ) -> Result<Vec<Suggestion>, Overloaded> {
+        let _permit = self.admit()?;
+        Ok(self.suggest(user, k, now))
+    }
+
+    /// Admission-controlled [`track_and_suggest`](Self::track_and_suggest).
+    pub fn try_track_and_suggest(
+        &self,
+        user: u64,
+        query: &str,
+        k: usize,
+        now: u64,
+    ) -> Result<Vec<Suggestion>, Overloaded> {
+        let _permit = self.admit()?;
+        Ok(self.track_and_suggest(user, query, k, now))
+    }
+
+    /// Admission-controlled [`suggest_batch`](Self::suggest_batch). The
+    /// whole batch costs one permit: it shares one snapshot load and its
+    /// buffers, so per-entry admission would overcount its footprint.
+    pub fn try_suggest_batch(
+        &self,
+        requests: &[SuggestRequest],
+        now: u64,
+    ) -> Result<Vec<Vec<Suggestion>>, Overloaded> {
+        let _permit = self.admit()?;
+        Ok(self.suggest_batch(requests, now))
     }
 
     /// Record a query issued by `user` at `now` (seconds since any fixed
@@ -127,7 +261,12 @@ impl ServeEngine {
         let snapshot = self.current.load();
         let mut ids = Vec::new();
         let covered = {
-            let mut shard = self.tracker.lock_shard(self.tracker.shard_index(user));
+            let shard_idx = self.tracker.shard_index(user);
+            let mut shard = self.tracker.lock_shard(shard_idx);
+            // Chaos seam, struck while the stripe is held: an injected
+            // panic here poisons the lock, exercising the tracker's poison
+            // recovery; an injected stall models a slow shard.
+            self.hazard.strike(&self.shard_sites[shard_idx]);
             let (_, state) = shard.track(user, query, now, self.tracker.config());
             snapshot.resolve_context_into(state.ring.iter(), &mut ids)
         };
@@ -180,6 +319,8 @@ impl ServeEngine {
                 // cannot form a lock-order cycle.
                 drop(held.take());
                 held = Some((shard_idx, self.tracker.lock_shard(shard_idx)));
+                // Chaos seam: same semantics as in `track_and_suggest`.
+                self.hazard.strike(&self.shard_sites[shard_idx]);
             }
             let (_, guard) = held.as_mut().expect("stripe lock just taken");
             let covered = match guard.sessions.get(&req.user) {
@@ -259,6 +400,7 @@ impl ServeEngine {
             tracks: self.tracks.load(Ordering::Relaxed),
             suggests: self.suggests.load(Ordering::Relaxed),
             publishes: self.current.generation(),
+            shed: self.shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -358,6 +500,75 @@ mod tests {
         let e = engine();
         assert_eq!(e.suggest_context(&["start"], 1)[0].query, "old::next");
         assert!(e.suggest_context(&["unseen"], 1).is_empty());
+    }
+
+    #[test]
+    fn admission_budget_sheds_and_recovers() {
+        let e = ServeEngine::new(
+            snapshot("old"),
+            EngineConfig {
+                max_in_flight: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let p1 = e.admit().unwrap();
+        let _p2 = e.admit().unwrap();
+        assert_eq!(e.in_flight(), 2);
+        assert_eq!(e.admit().unwrap_err(), Overloaded { limit: 2 });
+        assert_eq!(e.stats().shed, 1);
+        // Releasing a permit frees the slot.
+        drop(p1);
+        assert_eq!(e.in_flight(), 1);
+        assert!(e.try_suggest(1, 3, 100).is_ok());
+        assert_eq!(e.in_flight(), 1, "try_suggest released its permit");
+    }
+
+    #[test]
+    fn zero_budget_means_unlimited() {
+        let e = engine();
+        let permits: Vec<_> = (0..64).map(|_| e.admit().unwrap()).collect();
+        assert_eq!(e.in_flight(), 64);
+        assert_eq!(e.stats().shed, 0);
+        drop(permits);
+        assert_eq!(e.in_flight(), 0);
+        e.track(1, "start", 100);
+        assert_eq!(e.try_suggest(1, 3, 110).unwrap()[0].query, "old::next");
+    }
+
+    #[test]
+    fn hazard_panic_poisons_but_engine_keeps_serving() {
+        use sqp_common::hazard::Hazard;
+        use std::sync::atomic::AtomicBool;
+
+        struct PanicOnce(AtomicBool);
+        impl Hazard for PanicOnce {
+            fn strike(&self, _site: &str) {
+                if !self.0.swap(true, Ordering::SeqCst) {
+                    panic!("injected chaos panic (test)");
+                }
+            }
+        }
+
+        let e = Arc::new(ServeEngine::with_hazard(
+            snapshot("old"),
+            EngineConfig {
+                max_in_flight: 8,
+                ..EngineConfig::default()
+            },
+            Arc::new(PanicOnce(AtomicBool::new(false))),
+        ));
+        // First request panics mid-critical-section, poisoning its stripe
+        // and (via the held admission permit's Drop) releasing its slot.
+        let crashed = Arc::clone(&e);
+        let joined = std::thread::spawn(move || {
+            let _ = crashed.try_track_and_suggest(7, "start", 3, 100);
+        })
+        .join();
+        assert!(joined.is_err(), "injected panic should escape the worker");
+        assert_eq!(e.in_flight(), 0, "crashed request leaked its permit");
+        // The same user (same stripe) keeps serving after poison recovery.
+        let got = e.try_track_and_suggest(7, "start", 3, 110).unwrap();
+        assert_eq!(got[0].query, "old::next");
     }
 
     #[test]

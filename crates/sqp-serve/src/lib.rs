@@ -70,7 +70,9 @@ pub mod session;
 pub mod snapshot;
 pub mod swap;
 
-pub use engine::{EngineConfig, EngineStats, ServeEngine, SuggestRequest};
+pub use engine::{
+    EngineConfig, EngineStats, InFlightPermit, Overloaded, ServeEngine, SuggestRequest,
+};
 pub use session::{SessionTracker, TrackOutcome, TrackerConfig, DEFAULT_CUTOFF_SECS};
 pub use snapshot::{ModelSnapshot, ModelSpec, Suggestion, TrainingConfig};
 pub use swap::Swap;

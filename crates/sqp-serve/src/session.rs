@@ -22,7 +22,7 @@
 
 use sqp_common::hash::fx_hash_one;
 use sqp_common::FxHashMap;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// The conventional idle cutoff, re-exported from the offline pipeline so
 /// online and offline segmentation agree by default.
@@ -112,6 +112,9 @@ impl ContextRing {
         (0..self.len).map(move |i| {
             self.slots[(self.head + i) % cap]
                 .as_deref()
+                // Invariant-impossible: `push` fills slots before `len`
+                // counts them, so the first `len` ring positions are
+                // always `Some`.
                 .expect("live ring slot")
         })
     }
@@ -210,8 +213,20 @@ impl SessionTracker {
         (fx_hash_one(&user) & self.mask) as usize
     }
 
+    /// Actual stripe count (the configured value rounded up to a power of
+    /// two).
+    pub(crate) fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
     pub(crate) fn lock_shard(&self, index: usize) -> MutexGuard<'_, Shard> {
-        self.shards[index].lock().expect("session shard poisoned")
+        // Poison recovery: every mutation under a stripe lock (map entry
+        // upsert, ring push, retain) leaves the shard in a valid state at
+        // every step — a panicking thread (e.g. an injected chaos panic at a
+        // serve seam) cannot tear it, so the map is safe to keep serving.
+        self.shards[index]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Record a query issued by `user` at `now` (seconds). Applies the idle
@@ -250,7 +265,8 @@ impl SessionTracker {
         let cutoff = self.cfg.idle_cutoff_secs;
         let mut evicted = 0;
         for shard in self.shards.iter() {
-            let mut shard = shard.lock().expect("session shard poisoned");
+            // Poison recovery: see `lock_shard`.
+            let mut shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
             let before = shard.sessions.len();
             shard
                 .sessions
@@ -265,7 +281,13 @@ impl SessionTracker {
     pub fn active_sessions(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("session shard poisoned").sessions.len())
+            // Poison recovery: see `lock_shard`.
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .sessions
+                    .len()
+            })
             .sum()
     }
 }

@@ -13,7 +13,7 @@
 //! acquire/release pair on the lock plus one reference-count increment.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// A hot-swappable handle to a shared immutable value.
 ///
@@ -55,7 +55,10 @@ impl<T> Swap<T> {
     /// The handle remains valid — and the value alive — even if a
     /// [`store`](Swap::store) replaces the cell contents immediately after.
     pub fn load(&self) -> Arc<T> {
-        Arc::clone(&self.current.read().expect("swap cell poisoned"))
+        // Poison recovery: the cell holds a bare `Arc<T>`, and both writers
+        // replace it in a single assignment — there is no intermediate state
+        // a panic could tear, so a poisoned lock still guards a valid value.
+        Arc::clone(&self.current.read().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Publish a replacement value, returning the new generation.
@@ -64,14 +67,16 @@ impl<T> Swap<T> {
     /// readers that load after get the new one. There is no intermediate
     /// state.
     pub fn store(&self, value: Arc<T>) -> u64 {
-        let mut slot = self.current.write().expect("swap cell poisoned");
+        // Poison recovery: see `load` — the guarded state cannot be torn.
+        let mut slot = self.current.write().unwrap_or_else(PoisonError::into_inner);
         *slot = value;
         self.generation.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// Publish a replacement and return the previous value.
     pub fn swap(&self, value: Arc<T>) -> Arc<T> {
-        let mut slot = self.current.write().expect("swap cell poisoned");
+        // Poison recovery: see `load` — the guarded state cannot be torn.
+        let mut slot = self.current.write().unwrap_or_else(PoisonError::into_inner);
         let old = std::mem::replace(&mut *slot, value);
         self.generation.fetch_add(1, Ordering::AcqRel);
         old

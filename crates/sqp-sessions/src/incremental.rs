@@ -158,6 +158,47 @@ mod tests {
     }
 
     #[test]
+    fn empty_appends_and_empty_windows_are_safe() {
+        let mut c = SlidingCorpus::new(4);
+        c.append(std::iter::empty());
+        assert!(c.is_empty());
+        assert_eq!(c.records(), &[]);
+        assert_eq!((c.appended(), c.dropped()), (0, 0));
+        // Seeding with nothing is the same as starting empty.
+        let mut seeded = SlidingCorpus::with_seed(4, Vec::new());
+        assert!(seeded.is_empty());
+        assert_eq!(seeded.records(), &[]);
+    }
+
+    #[test]
+    fn batch_larger_than_capacity_keeps_only_its_tail() {
+        let mut c = SlidingCorpus::new(2);
+        // One append of 5 records into capacity 2: only the newest two
+        // survive, and the drop accounting reflects the whole overflow.
+        c.append((0..5u64).map(|i| rec(1, i * 60, &format!("q{i}"))));
+        let queries: Vec<&str> = c.records().iter().map(|r| r.query.as_str()).collect();
+        assert_eq!(queries, ["q3", "q4"]);
+        assert_eq!((c.appended(), c.dropped()), (5, 3));
+        // A follow-up append keeps rolling the same window.
+        c.append([rec(1, 999, "q5")]);
+        let queries: Vec<&str> = c.records().iter().map(|r| r.query.as_str()).collect();
+        assert_eq!(queries, ["q4", "q5"]);
+        assert_eq!(c.dropped(), 4);
+    }
+
+    #[test]
+    fn eviction_respects_arrival_order_not_timestamps() {
+        // Records can arrive out of timestamp order (multi-machine logs);
+        // the window is a traffic window, so eviction is strictly FIFO by
+        // arrival — the pipeline re-sorts per machine when segmenting.
+        let mut c = SlidingCorpus::new(2);
+        c.append([rec(1, 900, "late-ts-first"), rec(2, 100, "early-ts-second")]);
+        c.append([rec(3, 500, "third")]);
+        let queries: Vec<&str> = c.records().iter().map(|r| r.query.as_str()).collect();
+        assert_eq!(queries, ["early-ts-second", "third"]);
+    }
+
+    #[test]
     fn window_feeds_the_pipeline() {
         let mut c = SlidingCorpus::new(100);
         for u in 0..6 {

@@ -71,9 +71,101 @@ impl From<std::io::Error> for SnapshotError {
     }
 }
 
+/// Why one supervised retrain step failed.
+///
+/// Produced by the supervised loop
+/// ([`Supervisor::step`](crate::Supervisor::step)); every variant leaves
+/// the serving engine on its last good snapshot — a failed step degrades
+/// freshness, never correctness.
+#[derive(Debug)]
+pub enum RetrainError {
+    /// The training computation panicked; the payload text is preserved.
+    /// The drained window stays in the sliding corpus, so the next step
+    /// retries on the same (plus newer) traffic.
+    TrainingPanicked(String),
+    /// The snapshot file could not be written after every configured
+    /// retry. The reserved generation number is burned (never reused).
+    SaveFailed {
+        /// The generation whose save was abandoned.
+        generation: u64,
+        /// Write attempts made (1 + configured retries).
+        attempts: u32,
+        /// The final attempt's error.
+        last: SnapshotError,
+    },
+    /// The freshly written file failed post-save validation and was
+    /// renamed to `*.quarantine`; serving rolled back to the newest good
+    /// generation still on disk (if any).
+    Quarantined {
+        /// The generation that was quarantined.
+        generation: u64,
+        /// Why validation rejected the file.
+        cause: String,
+        /// Generation rolled back to, when a good file existed.
+        rolled_back_to: Option<u64>,
+    },
+}
+
+impl fmt::Display for RetrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetrainError::TrainingPanicked(payload) => {
+                write!(f, "retrain training thread panicked: {payload}")
+            }
+            RetrainError::SaveFailed {
+                generation,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "saving snapshot generation {generation} failed after {attempts} attempts: {last}"
+            ),
+            RetrainError::Quarantined {
+                generation,
+                cause,
+                rolled_back_to,
+            } => {
+                write!(f, "snapshot generation {generation} quarantined ({cause})")?;
+                match rolled_back_to {
+                    Some(g) => write!(f, "; rolled back to generation {g}"),
+                    None => write!(f, "; no good generation on disk to roll back to"),
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for RetrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RetrainError::SaveFailed { last, .. } => Some(last),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn retrain_error_display_is_actionable() {
+        let e = RetrainError::Quarantined {
+            generation: 9,
+            cause: "checksum mismatch".into(),
+            rolled_back_to: Some(8),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("generation 9") && msg.contains("rolled back to generation 8"));
+        let e = RetrainError::SaveFailed {
+            generation: 4,
+            attempts: 3,
+            last: SnapshotError::BadMagic,
+        };
+        assert!(e.to_string().contains("after 3 attempts"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
 
     #[test]
     fn display_is_actionable() {

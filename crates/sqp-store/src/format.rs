@@ -173,6 +173,9 @@ pub fn parse_section_table(raw: &[u8]) -> Result<Vec<SectionEntry>, SnapshotErro
             raw.len()
         )));
     }
+    // The `try_into().unwrap()`s below are on fixed-width slices whose
+    // length is guaranteed by the bounds checks directly above them —
+    // `&raw[a..a + 4]` is always exactly 4 bytes — so they cannot fail.
     let version = u32::from_le_bytes(raw[4..8].try_into().unwrap());
     if version != FORMAT_VERSION {
         return Err(SnapshotError::UnsupportedVersion(version));
@@ -274,6 +277,8 @@ pub fn snapshot_from_bytes(raw: &[u8]) -> Result<(ModelSnapshot, SnapshotMeta), 
         )));
     }
     let at = meta_entry.offset;
+    // Fixed-width unwraps: the section table validated every section lies
+    // inside the body and META_SECTION_LEN covers all three fields.
     let meta = SnapshotMeta {
         generation: u64::from_le_bytes(raw[at..at + 8].try_into().unwrap()),
         trained_sessions: u64::from_le_bytes(raw[at + 8..at + 16].try_into().unwrap()),
@@ -301,6 +306,8 @@ pub fn snapshot_from_bytes(raw: &[u8]) -> Result<(ModelSnapshot, SnapshotMeta), 
         ));
     }
     let at = model_entry.offset;
+    // Fixed-width unwrap: `model_entry.len >= 4` was just checked and the
+    // section table validated the section lies inside the body.
     let code = u32::from_le_bytes(raw[at..at + 4].try_into().unwrap());
     let kind = ModelKind::from_code(code)
         .ok_or_else(|| SnapshotError::Corrupt(format!("unknown model kind tag {code}")))?;
@@ -349,13 +356,21 @@ pub fn save_snapshot(
     snapshot: &ModelSnapshot,
     meta: &SnapshotMeta,
 ) -> Result<(), SnapshotError> {
-    let path = path.as_ref();
+    save_snapshot_with(&sqp_common::fsio::RealFs, path.as_ref(), snapshot, meta)
+}
+
+/// [`save_snapshot`] through an explicit [`FsIo`](sqp_common::fsio::FsIo)
+/// seam — the variant the supervised retrain loop uses so fault-injection
+/// harnesses can fail or corrupt the write deterministically. Atomicity is
+/// the seam's contract ([`FsIo::write_atomic`](sqp_common::fsio::FsIo)).
+pub fn save_snapshot_with(
+    io: &dyn sqp_common::fsio::FsIo,
+    path: &Path,
+    snapshot: &ModelSnapshot,
+    meta: &SnapshotMeta,
+) -> Result<(), SnapshotError> {
     let raw = snapshot_to_bytes(snapshot, meta)?;
-    let mut tmp_name = path.as_os_str().to_owned();
-    tmp_name.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp_name);
-    std::fs::write(&tmp, &raw)?;
-    std::fs::rename(&tmp, path)?;
+    io.write_atomic(path, &raw)?;
     Ok(())
 }
 
@@ -393,7 +408,17 @@ pub fn save_snapshot(
 pub fn load_snapshot(
     path: impl AsRef<Path>,
 ) -> Result<(ModelSnapshot, SnapshotMeta), SnapshotError> {
-    let raw = std::fs::read(path.as_ref())?;
+    load_snapshot_with(&sqp_common::fsio::RealFs, path.as_ref())
+}
+
+/// [`load_snapshot`] through an explicit [`FsIo`](sqp_common::fsio::FsIo)
+/// seam, so fault-injection harnesses can fail or truncate the read. A
+/// short read surfaces as the same typed error a truncated file would.
+pub fn load_snapshot_with(
+    io: &dyn sqp_common::fsio::FsIo,
+    path: &Path,
+) -> Result<(ModelSnapshot, SnapshotMeta), SnapshotError> {
+    let raw = io.read(path)?;
     snapshot_from_bytes(&raw)
 }
 

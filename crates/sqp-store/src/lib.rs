@@ -30,6 +30,24 @@
 //! truncated, or wrong-version files can never produce a partial snapshot
 //! or a panic.
 //!
+//! On top of the happy-path loop sits the **resilience layer**:
+//!
+//! * [`quarantine`] — post-save validation ([`validate_snapshot_file`]):
+//!   a freshly written generation is loaded back and checked (container
+//!   integrity, metadata identity, probe-suggestion smoke test) before it
+//!   may serve; failures are parked as `*.quarantine` files and serving
+//!   rolls back to the [`newest_good_snapshot`] on disk.
+//! * [`supervise`] — the **supervised retrain loop**: a [`Supervisor`]
+//!   wraps the retrain cycle with panic isolation, capped-backoff save
+//!   retries, quarantine/rollback, and a circuit breaker that degrades to
+//!   "serve the last good snapshot" under persistent failure, reporting
+//!   typed [`RetrainerHealth`].
+//!
+//! Both layers run on the [`sqp_common::fsio::FsIo`] /
+//! [`sqp_common::clock::Clock`] / [`sqp_common::hazard::Hazard`] seams, so
+//! the `sqp-faults` chaos harness can drive them through deterministic
+//! disk faults, virtual time, and scheduled panics.
+//!
 //! # Examples
 //!
 //! The full lifecycle in one sitting — train, save, warm-start, retrain,
@@ -76,18 +94,26 @@
 
 pub mod error;
 pub mod format;
+pub mod quarantine;
 pub mod retrain;
+pub mod supervise;
 pub mod warm;
 
-pub use error::SnapshotError;
+pub use error::{RetrainError, SnapshotError};
 pub use format::{
-    checksum_fnv1a, load_snapshot, parse_section_table, save_snapshot, snapshot_from_bytes,
-    snapshot_to_bytes, SectionEntry, SnapshotMeta, FORMAT_VERSION, MAGIC,
+    checksum_fnv1a, load_snapshot, load_snapshot_with, parse_section_table, save_snapshot,
+    save_snapshot_with, snapshot_from_bytes, snapshot_to_bytes, SectionEntry, SnapshotMeta,
+    FORMAT_VERSION, MAGIC,
+};
+pub use quarantine::{
+    newest_good_snapshot, quarantine_file, quarantine_path, validate_snapshot_file,
 };
 pub use retrain::{
-    latest_generation_on_disk, rotate_snapshots, snapshot_file_name, PublishOutcome, RetrainConfig,
-    RetrainReport, Retrainer,
+    latest_generation_on_disk, latest_generation_on_disk_with, parse_snapshot_name,
+    rotate_snapshots, rotate_snapshots_with, snapshot_file_name, PublishOutcome, RetrainConfig,
+    RetrainReport, Retrainer, RotationReport,
 };
+pub use supervise::{BreakerState, RetrainerHealth, StepOutcome, SuperviseConfig, Supervisor};
 pub use warm::{Published, WarmStart};
 
 // The model-kind tag is defined next to the model codecs in sqp-core;

@@ -24,12 +24,13 @@
 
 use crate::error::SnapshotError;
 use crate::format::{save_snapshot, SnapshotMeta};
+use sqp_common::fsio::{FsIo, RealFs};
 use sqp_logsim::RawLogRecord;
 use sqp_serve::{ModelSnapshot, ServeEngine, TrainingConfig};
 use sqp_sessions::SlidingCorpus;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 /// Parameters of the retrain loop.
@@ -194,6 +195,15 @@ impl Retrainer {
         &self.cfg
     }
 
+    /// Lock the ingest queue, recovering from poisoning. The queue holds a
+    /// pending `Vec` and the sliding corpus; every mutation under the lock
+    /// (extend, drain, append) leaves both valid at each step, so a thread
+    /// that panicked mid-critical-section (e.g. an injected chaos panic)
+    /// cannot have torn the state — serving and retraining safely continue.
+    fn lock_queue(&self) -> MutexGuard<'_, Queue> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Buffer one raw record for the next retrain.
     pub fn ingest(&self, record: RawLogRecord) {
         self.ingest_batch(std::iter::once(record));
@@ -202,7 +212,7 @@ impl Retrainer {
     /// Buffer a batch of raw records, waking the loop if the trigger
     /// threshold is now met.
     pub fn ingest_batch<I: IntoIterator<Item = RawLogRecord>>(&self, records: I) {
-        let mut queue = self.queue.lock().expect("retrainer queue poisoned");
+        let mut queue = self.lock_queue();
         let before = queue.pending.len();
         queue.pending.extend(records);
         self.ingested
@@ -214,11 +224,7 @@ impl Retrainer {
 
     /// Records buffered but not yet folded into a retrain.
     pub fn pending(&self) -> usize {
-        self.queue
-            .lock()
-            .expect("retrainer queue poisoned")
-            .pending
-            .len()
+        self.lock_queue().pending.len()
     }
 
     /// The latest snapshot generation number. Starts at the newest
@@ -258,17 +264,7 @@ impl Retrainer {
     /// reported in [`PublishOutcome::save_error`] (a full disk must not
     /// leave the engine serving an ever-staler model).
     pub fn retrain_once(&self, engine: &ServeEngine) -> Option<PublishOutcome> {
-        let window: Vec<RawLogRecord> = {
-            let mut queue = self.queue.lock().expect("retrainer queue poisoned");
-            let drained: Vec<RawLogRecord> = queue.pending.drain(..).collect();
-            queue.corpus.append(drained);
-            if queue.corpus.is_empty() {
-                return None;
-            }
-            // Copy the window out so training runs without holding the
-            // ingest lock — serving threads keep buffering mid-retrain.
-            queue.corpus.records().to_vec()
-        };
+        let window = self.drain_window()?;
         let snapshot = ModelSnapshot::from_raw_logs(&window, &self.cfg.training);
         let generation = self.generations.load(Ordering::Acquire) + 1;
         let meta = SnapshotMeta::describe(&snapshot, generation, window.len() as u64);
@@ -284,6 +280,51 @@ impl Retrainer {
             engine_generation,
             save_error,
         })
+    }
+
+    /// Fold every buffered record into the sliding corpus and copy the
+    /// current training window out, or `None` when the corpus is empty.
+    /// Training then runs without holding the ingest lock — serving
+    /// threads keep buffering mid-retrain. Drained records stay in the
+    /// corpus, so a retrain that subsequently fails (panic, disk trouble)
+    /// loses no traffic: the next attempt retrains on the same window.
+    pub fn drain_window(&self) -> Option<Vec<RawLogRecord>> {
+        let mut queue = self.lock_queue();
+        let drained: Vec<RawLogRecord> = queue.pending.drain(..).collect();
+        queue.corpus.append(drained);
+        if queue.corpus.is_empty() {
+            return None;
+        }
+        Some(queue.corpus.records().to_vec())
+    }
+
+    /// Claim the next snapshot generation number. Numbers are burned on
+    /// attempt: a retrain that reserves a generation and then fails (save
+    /// exhaustion, quarantine) never returns it, so a generation number
+    /// on disk — good or quarantined — is globally unique and
+    /// "lexicographic order is generation order" survives failed publishes.
+    pub fn reserve_generation(&self) -> u64 {
+        self.generations.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Block until at least `min_batch` records are buffered or shutdown
+    /// is requested, whichever comes first (checked every `poll`). Returns
+    /// true when the caller should run a final drain-and-exit step —
+    /// shared by [`run`](Retrainer::run) and the supervised loop.
+    ///
+    /// A false return with an empty buffer never happens: the wait only
+    /// ends below `min_batch` when shutting down.
+    pub fn wait_for_work(&self) -> bool {
+        let mut queue = self.lock_queue();
+        while queue.pending.len() < self.cfg.min_batch && !self.is_shutting_down() {
+            let (guard, _) = self
+                .arrived
+                .wait_timeout(queue, self.cfg.poll)
+                // Poison recovery: see `lock_queue`.
+                .unwrap_or_else(PoisonError::into_inner);
+            queue = guard;
+        }
+        self.is_shutting_down()
     }
 
     /// Save one generation to disk and rotate, reporting failures instead
@@ -319,21 +360,10 @@ impl Retrainer {
     pub fn run(&self, engine: &ServeEngine) -> RetrainReport {
         let mut report = RetrainReport::default();
         loop {
-            let stopping = {
-                let mut queue = self.queue.lock().expect("retrainer queue poisoned");
-                while queue.pending.len() < self.cfg.min_batch && !self.is_shutting_down() {
-                    let (guard, _) = self
-                        .arrived
-                        .wait_timeout(queue, self.cfg.poll)
-                        .expect("retrainer queue poisoned");
-                    queue = guard;
-                }
-                let stopping = self.is_shutting_down();
-                if stopping && queue.pending.is_empty() {
-                    break;
-                }
-                stopping
-            };
+            let stopping = self.wait_for_work();
+            if stopping && self.pending() == 0 {
+                break;
+            }
             if let Some(outcome) = self.retrain_once(engine) {
                 report.published += 1;
                 if outcome.path.is_some() {
@@ -370,44 +400,129 @@ pub fn snapshot_file_name(generation: u64) -> String {
     format!("snapshot-{generation:08}.sqps")
 }
 
-/// The newest generation number among `snapshot-*.sqps` files in `dir`
-/// (0 when the directory is missing, unreadable, or holds none). Used to
-/// continue numbering across process restarts.
+/// Parse a generation number out of a canonical snapshot file name —
+/// strictly `snapshot-N.sqps` or its quarantined form
+/// `snapshot-N.sqps.quarantine`. Returns the generation and whether the
+/// file is quarantined; anything else (aliens, tmp files) is `None`.
+pub fn parse_snapshot_name(name: &str) -> Option<(u64, bool)> {
+    let (rest, quarantined) = match name.strip_suffix(".quarantine") {
+        Some(rest) => (rest, true),
+        None => (name, false),
+    };
+    let generation = rest
+        .strip_prefix("snapshot-")?
+        .strip_suffix(".sqps")?
+        .parse::<u64>()
+        .ok()?;
+    Some((generation, quarantined))
+}
+
+/// The newest generation number among snapshot files in `dir` — counting
+/// quarantined (`*.sqps.quarantine`) files, so a generation that failed
+/// validation is never reissued to a different model (0 when the directory
+/// is missing, unreadable, or holds none). Used to continue numbering
+/// across process restarts.
 pub fn latest_generation_on_disk(dir: &Path) -> u64 {
-    let Ok(entries) = std::fs::read_dir(dir) else {
+    latest_generation_on_disk_with(&RealFs, dir)
+}
+
+/// [`latest_generation_on_disk`] through an explicit
+/// [`FsIo`] seam.
+pub fn latest_generation_on_disk_with(io: &dyn FsIo, dir: &Path) -> u64 {
+    let Ok(entries) = io.list(dir) else {
         return 0;
     };
     entries
-        .filter_map(|entry| {
-            let name = entry.ok()?.file_name();
-            let name = name.to_str()?;
-            name.strip_prefix("snapshot-")?
-                .strip_suffix(".sqps")?
-                .parse::<u64>()
-                .ok()
-        })
+        .iter()
+        .filter_map(|path| parse_snapshot_name(path.file_name()?.to_str()?))
+        .map(|(generation, _)| generation)
         .max()
         .unwrap_or(0)
 }
 
+/// What one rotation pass did (and declined to do).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RotationReport {
+    /// Old snapshot files deleted.
+    pub removed: usize,
+    /// Directory entries skipped because they are not canonical
+    /// `snapshot-N.sqps` files (alien files, tmp leftovers, quarantined
+    /// snapshots). Rotation never touches what it does not own.
+    pub skipped: usize,
+    /// Per-file deletion failures. Rotation keeps going past them — one
+    /// undeletable file must not wedge the whole pass — so entries here
+    /// mean disk usage is higher than `keep` intends, not that rotation
+    /// aborted.
+    pub errors: Vec<String>,
+}
+
 /// Delete the oldest `snapshot-*.sqps` files in `dir` beyond `keep`.
-/// Returns how many files were removed.
+/// Returns how many files were removed; per-file failures become one
+/// summary [`SnapshotError::Io`]. Compatibility wrapper over
+/// [`rotate_snapshots_with`].
 pub fn rotate_snapshots(dir: &Path, keep: usize) -> Result<usize, SnapshotError> {
-    let mut snaps: Vec<PathBuf> = std::fs::read_dir(dir)?
-        .filter_map(|entry| entry.ok().map(|e| e.path()))
-        .filter(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with("snapshot-") && n.ends_with(".sqps"))
-        })
-        .collect();
-    snaps.sort();
-    let mut removed = 0;
-    while snaps.len() > keep.max(1) {
-        std::fs::remove_file(snaps.remove(0))?;
-        removed += 1;
+    let report = rotate_snapshots_with(&RealFs, dir, keep, None)?;
+    if report.errors.is_empty() {
+        Ok(report.removed)
+    } else {
+        Err(SnapshotError::Io(std::io::Error::other(
+            report.errors.join("; "),
+        )))
     }
-    Ok(removed)
+}
+
+/// Rotate snapshot generations in `dir` down to the newest `keep` (min 1),
+/// through an explicit [`FsIo`] seam.
+///
+/// Robustness contract:
+///
+/// * only canonical `snapshot-N.sqps` names are candidates — alien files,
+///   `.tmp` leftovers, and quarantined snapshots are skipped (and counted),
+///   never deleted;
+/// * candidates are ordered by parsed generation number, and the newest
+///   `keep` are always retained — rotation can never delete the newest
+///   good generation;
+/// * `protect` (the supervisor's last validated snapshot) is never
+///   deleted, whatever its age;
+/// * a file that fails to delete is reported in
+///   [`RotationReport::errors`] and the pass continues.
+///
+/// Errors only when the directory itself cannot be listed.
+pub fn rotate_snapshots_with(
+    io: &dyn FsIo,
+    dir: &Path,
+    keep: usize,
+    protect: Option<&Path>,
+) -> Result<RotationReport, SnapshotError> {
+    let mut report = RotationReport::default();
+    let mut snaps: Vec<(u64, PathBuf)> = Vec::new();
+    for path in io.list(dir)? {
+        match path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(parse_snapshot_name)
+        {
+            Some((generation, false)) => snaps.push((generation, path)),
+            _ => report.skipped += 1,
+        }
+    }
+    snaps.sort();
+    let keep = keep.max(1);
+    let excess = snaps.len().saturating_sub(keep);
+    for (generation, path) in snaps.into_iter().take(excess) {
+        if protect.is_some_and(|p| p == path) {
+            report.skipped += 1;
+            continue;
+        }
+        match io.remove_file(&path) {
+            Ok(()) => report.removed += 1,
+            Err(e) => report.errors.push(format!(
+                "remove generation {generation} ({}): {e}",
+                path.display()
+            )),
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -593,6 +708,104 @@ mod tests {
             .iter()
             .any(|s| s.query == "fresh::next"));
         std::fs::remove_file(&blocker).unwrap();
+    }
+
+    #[test]
+    fn rotation_skips_aliens_protects_last_good_and_collects_errors() {
+        use sqp_common::fsio::RealFs;
+        use std::io;
+
+        /// Real filesystem, except files whose name contains `sticky`
+        /// refuse to delete — models one undeletable file mid-rotation.
+        struct StickyFs;
+        impl FsIo for StickyFs {
+            fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+                RealFs.read(path)
+            }
+            fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+                RealFs.write_atomic(path, bytes)
+            }
+            fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+                RealFs.rename(from, to)
+            }
+            fn remove_file(&self, path: &Path) -> io::Result<()> {
+                if path.to_string_lossy().contains("00000002") {
+                    return Err(io::Error::other("sticky file refuses deletion"));
+                }
+                RealFs.remove_file(path)
+            }
+            fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+                RealFs.create_dir_all(dir)
+            }
+            fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+                RealFs.list(dir)
+            }
+        }
+
+        let dir = std::env::temp_dir().join(format!("sqp-rotate-rob-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Rotation orders by parsed generation and never reads contents.
+        for generation in 1..=5u64 {
+            std::fs::write(dir.join(snapshot_file_name(generation)), b"snap").unwrap();
+        }
+        // Non-candidates rotation must never touch: an operator note, a
+        // crashed save's tmp leftover, a quarantined generation.
+        std::fs::write(dir.join("notes.txt"), b"keep me").unwrap();
+        std::fs::write(dir.join("snapshot-00000009.sqps.tmp"), b"partial").unwrap();
+        std::fs::write(dir.join("snapshot-00000004.sqps.quarantine"), b"bad").unwrap();
+
+        // keep=2 over candidates 1..=5 → excess {1,2,3}; 1 is protected,
+        // 2 refuses deletion, 3 actually goes.
+        let protect = dir.join(snapshot_file_name(1));
+        let report = rotate_snapshots_with(&StickyFs, &dir, 2, Some(&protect)).unwrap();
+        assert_eq!(report.removed, 1);
+        assert_eq!(report.skipped, 4, "3 aliens + 1 protected");
+        assert_eq!(report.errors.len(), 1);
+        assert!(
+            report.errors[0].contains("generation 2"),
+            "{:?}",
+            report.errors
+        );
+
+        let mut kept: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        kept.sort();
+        assert_eq!(
+            kept,
+            [
+                "notes.txt",
+                "snapshot-00000001.sqps",
+                "snapshot-00000002.sqps",
+                "snapshot-00000004.sqps",
+                "snapshot-00000004.sqps.quarantine",
+                "snapshot-00000005.sqps",
+                "snapshot-00000009.sqps.tmp",
+            ]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_never_deletes_the_newest_generation() {
+        let dir = std::env::temp_dir().join(format!("sqp-rotate-newest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for generation in 1..=3u64 {
+            std::fs::write(dir.join(snapshot_file_name(generation)), b"snap").unwrap();
+        }
+        // Even keep=0 clamps to 1: the newest generation always survives.
+        let report = rotate_snapshots_with(&RealFs, &dir, 0, None).unwrap();
+        assert_eq!(report.removed, 2);
+        assert!(report.errors.is_empty());
+        let survivors: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(survivors, ["snapshot-00000003.sqps"]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

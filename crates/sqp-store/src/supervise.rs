@@ -1,0 +1,632 @@
+//! The supervised retrain loop: retraining that survives its own failures.
+//!
+//! [`Retrainer::retrain_once`](crate::Retrainer::retrain_once) assumes the
+//! happy path — training returns, the disk accepts the write, the file is
+//! what was written. The [`Supervisor`] wraps the same drain→train→save→
+//! publish cycle in a failure-containment shell:
+//!
+//! * **Panic isolation** — training runs under
+//!   [`catch_unwind`](std::panic::catch_unwind); a crashed training
+//!   computation becomes a typed
+//!   [`RetrainError::TrainingPanicked`], not a dead loop, and the drained
+//!   window stays in the sliding corpus for the next attempt.
+//! * **Save retries** — disk writes retry with capped exponential backoff
+//!   (through the [`Clock`] seam, so tests run the waits virtually).
+//! * **Disk as source of truth** — after a save, the file is loaded back
+//!   and validated ([`validate_snapshot_file`]); what gets published is
+//!   the *loaded* snapshot, so serving state is exactly what a restart
+//!   would recover. A file that fails validation is quarantined and
+//!   serving rolls back to the newest good generation on disk.
+//! * **Circuit breaker** — consecutive failures past a threshold trip the
+//!   loop [`BreakerState::Open`]: retrain attempts stop, the engine keeps
+//!   serving its last good snapshot, and after a cooldown one half-open
+//!   probe attempt decides between recovery and re-tripping.
+//!
+//! Note the semantic difference from the unsupervised loop: `retrain_once`
+//! publishes in-memory even when the disk fails (freshness over
+//! durability); the supervisor refuses to publish anything it could not
+//! persist and validate (durability over freshness). Production systems
+//! that need restart-consistency run the supervisor.
+
+use crate::error::{RetrainError, SnapshotError};
+use crate::format::{save_snapshot_with, SnapshotMeta};
+use crate::quarantine::{newest_good_snapshot, quarantine_file, validate_snapshot_file};
+use crate::retrain::{rotate_snapshots_with, snapshot_file_name, Retrainer};
+use sqp_common::clock::{Clock, RealClock};
+use sqp_common::fsio::{FsIo, RealFs};
+use sqp_common::hazard::{Hazard, NoHazard};
+use sqp_serve::{ModelSnapshot, ServeEngine};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Failure-handling parameters of the supervised loop.
+#[derive(Clone, Debug)]
+pub struct SuperviseConfig {
+    /// Snapshot-save attempts per step (min 1) before the step fails with
+    /// [`RetrainError::SaveFailed`].
+    pub max_save_attempts: u32,
+    /// Backoff before the first save retry; doubles per retry.
+    pub backoff_initial: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Consecutive step failures that trip the breaker open (min 1). A
+    /// failed half-open probe re-trips immediately regardless.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before allowing one half-open
+    /// probe attempt.
+    pub cooldown: Duration,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> Self {
+        Self {
+            max_save_attempts: 3,
+            backoff_initial: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            breaker_threshold: 3,
+            cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Circuit-breaker position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; failures are counted.
+    Closed,
+    /// Tripped: steps are refused until the cooldown elapses. The engine
+    /// keeps serving its last good snapshot.
+    Open,
+    /// Cooldown elapsed: the next step is a probe — success closes the
+    /// breaker, failure re-trips it.
+    HalfOpen,
+}
+
+/// Point-in-time health of the supervised loop, for operators and tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetrainerHealth {
+    /// Current breaker position.
+    pub breaker: BreakerState,
+    /// Consecutive failed steps (reset by any success).
+    pub consecutive_failures: u32,
+    /// Steps that published a validated generation.
+    pub retrains_ok: u64,
+    /// Steps that failed (panic, save exhaustion, quarantine).
+    pub failures: u64,
+    /// Individual save retries performed across all steps.
+    pub save_retries: u64,
+    /// Snapshot files quarantined after failing validation.
+    pub quarantined: u64,
+    /// Rollback publishes performed after a quarantine.
+    pub rollbacks: u64,
+    /// Unreadable files skipped over by rollback scans.
+    pub rollback_files_skipped: u64,
+    /// Rotation passes that reported per-file deletion errors.
+    pub rotation_errors: u64,
+    /// Times the breaker tripped open.
+    pub breaker_trips: u64,
+    /// Times a half-open probe closed the breaker again.
+    pub breaker_recoveries: u64,
+    /// Steps refused because the breaker was open.
+    pub steps_skipped_open: u64,
+    /// Generation of the last snapshot that passed validation and
+    /// published (including rollback targets).
+    pub last_good_generation: Option<u64>,
+    /// Human-readable description of the most recent failure.
+    pub last_error: Option<String>,
+}
+
+/// What one [`Supervisor::step`] did.
+#[derive(Debug)]
+pub enum StepOutcome {
+    /// Nothing to train on (empty window).
+    Idle,
+    /// The breaker is open; no retrain was attempted.
+    BreakerOpen {
+        /// Milliseconds until the cooldown elapses and a half-open probe
+        /// is allowed.
+        remaining_millis: u64,
+    },
+    /// A generation was trained, persisted, validated, and published.
+    Published {
+        /// The published generation number.
+        generation: u64,
+        /// Where it lives on disk (`None` when no snapshot directory is
+        /// configured).
+        path: Option<PathBuf>,
+    },
+    /// The step failed; the engine keeps serving its last good snapshot.
+    /// Details are also folded into [`RetrainerHealth`].
+    Failed(RetrainError),
+}
+
+#[derive(Debug)]
+struct Inner {
+    breaker: BreakerState,
+    open_until_millis: u64,
+    consecutive_failures: u32,
+    retrains_ok: u64,
+    failures: u64,
+    save_retries: u64,
+    quarantined: u64,
+    rollbacks: u64,
+    rollback_files_skipped: u64,
+    rotation_errors: u64,
+    breaker_trips: u64,
+    breaker_recoveries: u64,
+    steps_skipped_open: u64,
+    /// Last validated-and-published snapshot: generation and path. The
+    /// path is additionally protected from rotation.
+    last_good: Option<(u64, PathBuf)>,
+    last_error: Option<String>,
+}
+
+/// Supervision shell around a [`Retrainer`]: drives the same retrain cycle
+/// with panic isolation, save retries, post-save validation with
+/// quarantine/rollback, and a circuit breaker.
+///
+/// # Examples
+///
+/// Drive supervised steps synchronously (the background loop calls exactly
+/// this):
+///
+/// ```
+/// use std::sync::Arc;
+/// use sqp_logsim::RawLogRecord;
+/// use sqp_serve::{EngineConfig, ModelSnapshot, ModelSpec, ServeEngine, TrainingConfig};
+/// use sqp_store::{RetrainConfig, Retrainer, StepOutcome, SuperviseConfig, Supervisor};
+///
+/// let rec = |machine, ts, q: &str| RawLogRecord {
+///     machine_id: machine, timestamp: ts, query: q.into(), clicks: vec![],
+/// };
+/// let seed: Vec<_> = (0..5)
+///     .flat_map(|u| [rec(u, 100, "maps"), rec(u, 150, "maps directions")])
+///     .collect();
+/// let training = TrainingConfig { model: ModelSpec::Adjacency, ..TrainingConfig::default() };
+/// let engine = ServeEngine::new(
+///     Arc::new(ModelSnapshot::from_raw_logs(&seed, &training)),
+///     EngineConfig::default(),
+/// );
+/// let retrainer = Retrainer::new(
+///     RetrainConfig { training, ..RetrainConfig::default() },
+///     seed,
+/// );
+/// let supervisor = Supervisor::new(&retrainer, SuperviseConfig::default());
+///
+/// for u in 10..20 {
+///     retrainer.ingest(rec(u, 100, "maps"));
+///     retrainer.ingest(rec(u, 150, "maps satellite view"));
+/// }
+/// let outcome = supervisor.step(&engine);
+/// assert!(matches!(outcome, StepOutcome::Published { generation: 1, .. }));
+/// assert_eq!(supervisor.health().retrains_ok, 1);
+/// assert_eq!(engine.suggest_context(&["maps"], 1)[0].query, "maps satellite view");
+/// ```
+pub struct Supervisor<'r> {
+    retrainer: &'r Retrainer,
+    cfg: SuperviseConfig,
+    io: Arc<dyn FsIo>,
+    clock: Arc<dyn Clock>,
+    hazard: Arc<dyn Hazard>,
+    inner: Mutex<Inner>,
+}
+
+impl<'r> Supervisor<'r> {
+    /// A supervisor over `retrainer` wired to the production seams (real
+    /// filesystem, real clock, no-op hazard).
+    pub fn new(retrainer: &'r Retrainer, cfg: SuperviseConfig) -> Self {
+        Self::with_seams(
+            retrainer,
+            cfg,
+            Arc::new(RealFs),
+            Arc::new(RealClock),
+            Arc::new(NoHazard),
+        )
+    }
+
+    /// A supervisor with explicit fault seams — the constructor chaos
+    /// harnesses use to inject disk faults, virtual time, and scheduled
+    /// panics.
+    pub fn with_seams(
+        retrainer: &'r Retrainer,
+        cfg: SuperviseConfig,
+        io: Arc<dyn FsIo>,
+        clock: Arc<dyn Clock>,
+        hazard: Arc<dyn Hazard>,
+    ) -> Self {
+        Self {
+            retrainer,
+            cfg,
+            io,
+            clock,
+            hazard,
+            inner: Mutex::new(Inner {
+                breaker: BreakerState::Closed,
+                open_until_millis: 0,
+                consecutive_failures: 0,
+                retrains_ok: 0,
+                failures: 0,
+                save_retries: 0,
+                quarantined: 0,
+                rollbacks: 0,
+                rollback_files_skipped: 0,
+                rotation_errors: 0,
+                breaker_trips: 0,
+                breaker_recoveries: 0,
+                steps_skipped_open: 0,
+                last_good: None,
+                last_error: None,
+            }),
+        }
+    }
+
+    /// The retrainer being supervised.
+    pub fn retrainer(&self) -> &'r Retrainer {
+        self.retrainer
+    }
+
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        // Poison recovery: `Inner` is counters plus small value fields,
+        // each updated by single assignments — no torn intermediate state
+        // is possible, so a poisoned lock still guards valid health data.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Snapshot of the loop's health.
+    pub fn health(&self) -> RetrainerHealth {
+        let inner = self.lock_inner();
+        RetrainerHealth {
+            breaker: inner.breaker,
+            consecutive_failures: inner.consecutive_failures,
+            retrains_ok: inner.retrains_ok,
+            failures: inner.failures,
+            save_retries: inner.save_retries,
+            quarantined: inner.quarantined,
+            rollbacks: inner.rollbacks,
+            rollback_files_skipped: inner.rollback_files_skipped,
+            rotation_errors: inner.rotation_errors,
+            breaker_trips: inner.breaker_trips,
+            breaker_recoveries: inner.breaker_recoveries,
+            steps_skipped_open: inner.steps_skipped_open,
+            last_good_generation: inner.last_good.as_ref().map(|(g, _)| *g),
+            last_error: inner.last_error.clone(),
+        }
+    }
+
+    /// Record a failed step: count it, remember the error, and trip the
+    /// breaker when warranted (threshold reached, or any half-open probe
+    /// failure).
+    fn fail(&self, err: RetrainError) -> StepOutcome {
+        let mut inner = self.lock_inner();
+        inner.failures += 1;
+        inner.consecutive_failures += 1;
+        inner.last_error = Some(err.to_string());
+        let probe_failed = inner.breaker == BreakerState::HalfOpen;
+        if probe_failed || inner.consecutive_failures >= self.cfg.breaker_threshold.max(1) {
+            inner.breaker = BreakerState::Open;
+            inner.open_until_millis = self
+                .clock
+                .now_millis()
+                .saturating_add(self.cfg.cooldown.as_millis() as u64);
+            inner.breaker_trips += 1;
+        }
+        StepOutcome::Failed(err)
+    }
+
+    /// Record a successful publish: reset the failure streak, close the
+    /// breaker (counting a recovery if it was not closed), and remember
+    /// the generation as last-good.
+    fn succeed(&self, generation: u64, path: Option<PathBuf>) -> StepOutcome {
+        let mut inner = self.lock_inner();
+        inner.retrains_ok += 1;
+        inner.consecutive_failures = 0;
+        if inner.breaker != BreakerState::Closed {
+            inner.breaker_recoveries += 1;
+            inner.breaker = BreakerState::Closed;
+        }
+        if let Some(p) = &path {
+            inner.last_good = Some((generation, p.clone()));
+        }
+        StepOutcome::Published { generation, path }
+    }
+
+    /// Run one supervised retrain step against `engine`.
+    ///
+    /// Pipeline: breaker admission → drain window → train (panic-isolated)
+    /// → reserve generation → save (with retries) → load-back validation →
+    /// publish the loaded snapshot → rotate. Any failure leaves the engine
+    /// on its last good snapshot and feeds the breaker.
+    pub fn step(&self, engine: &ServeEngine) -> StepOutcome {
+        {
+            let mut inner = self.lock_inner();
+            if inner.breaker == BreakerState::Open {
+                let now = self.clock.now_millis();
+                if now < inner.open_until_millis {
+                    inner.steps_skipped_open += 1;
+                    return StepOutcome::BreakerOpen {
+                        remaining_millis: inner.open_until_millis - now,
+                    };
+                }
+                inner.breaker = BreakerState::HalfOpen;
+            }
+        }
+
+        let Some(window) = self.retrainer.drain_window() else {
+            return StepOutcome::Idle;
+        };
+
+        // Train under panic isolation. The closure only borrows immutable
+        // data (the window, the config) plus the hazard seam; a panic
+        // cannot leave partial state behind, so AssertUnwindSafe holds.
+        let training = &self.retrainer.config().training;
+        let trained = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            self.hazard.strike("store.retrain.train");
+            ModelSnapshot::from_raw_logs(&window, training)
+        }));
+        let snapshot = match trained {
+            Ok(snapshot) => snapshot,
+            Err(payload) => return self.fail(RetrainError::TrainingPanicked(panic_text(payload))),
+        };
+
+        let generation = self.retrainer.reserve_generation();
+        let meta = SnapshotMeta::describe(&snapshot, generation, window.len() as u64);
+
+        let Some(dir) = self.retrainer.config().snapshot_dir.clone() else {
+            // No snapshot directory: nothing to persist or validate
+            // against; publish the in-memory result directly.
+            engine.publish(Arc::new(snapshot));
+            return self.succeed(generation, None);
+        };
+        if let Err(e) = self.io.create_dir_all(&dir) {
+            return self.fail(RetrainError::SaveFailed {
+                generation,
+                attempts: 1,
+                last: SnapshotError::Io(e),
+            });
+        }
+        let path = dir.join(snapshot_file_name(generation));
+
+        // Save with capped exponential backoff between attempts.
+        let max_attempts = self.cfg.max_save_attempts.max(1);
+        let mut backoff = self.cfg.backoff_initial;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            self.hazard.strike("store.retrain.save");
+            match save_snapshot_with(&*self.io, &path, &snapshot, &meta) {
+                Ok(()) => break,
+                Err(last) => {
+                    if attempts >= max_attempts {
+                        return self.fail(RetrainError::SaveFailed {
+                            generation,
+                            attempts,
+                            last,
+                        });
+                    }
+                    self.lock_inner().save_retries += 1;
+                    self.clock.sleep(backoff);
+                    backoff = std::cmp::min(backoff.saturating_mul(2), self.cfg.backoff_cap);
+                }
+            }
+        }
+
+        // Disk as source of truth: load the file back, validate it against
+        // what we meant to write (probe: the window's first query), and
+        // publish the *loaded* snapshot.
+        self.hazard.strike("store.retrain.validate");
+        let probe_query = window.first().map(|r| r.query.as_str());
+        let probe_ctx: Vec<&str> = probe_query.into_iter().collect();
+        match validate_snapshot_file(&*self.io, &path, &meta, Some((&snapshot, &probe_ctx))) {
+            Ok(loaded) => {
+                engine.publish(Arc::new(loaded));
+                let keep = self.retrainer.config().keep.max(1);
+                match rotate_snapshots_with(&*self.io, &dir, keep, Some(&path)) {
+                    Ok(report) if report.errors.is_empty() => {}
+                    Ok(report) => {
+                        let mut inner = self.lock_inner();
+                        inner.rotation_errors += 1;
+                        inner.last_error = Some(format!("rotation: {}", report.errors.join("; ")));
+                    }
+                    Err(e) => {
+                        let mut inner = self.lock_inner();
+                        inner.rotation_errors += 1;
+                        inner.last_error = Some(format!("rotation: {e}"));
+                    }
+                }
+                self.succeed(generation, Some(path))
+            }
+            Err(cause) => self.quarantine_and_rollback(engine, generation, &path, cause),
+        }
+    }
+
+    /// Validation failed: park the bad file under `*.quarantine`, roll the
+    /// engine back to the newest good generation on disk, and record the
+    /// failure.
+    fn quarantine_and_rollback(
+        &self,
+        engine: &ServeEngine,
+        generation: u64,
+        path: &std::path::Path,
+        cause: SnapshotError,
+    ) -> StepOutcome {
+        let mut cause = cause.to_string();
+        if let Err(e) = quarantine_file(&*self.io, path) {
+            // The rename itself failed (disk trouble on top of corruption):
+            // the bad file stays at its canonical name, but rollback still
+            // publishes a good model over it and the failure is recorded.
+            cause = format!("{cause}; quarantine rename failed: {e}");
+        }
+        let dir = path.parent().unwrap_or_else(|| std::path::Path::new("."));
+        let (found, skipped) = newest_good_snapshot(&*self.io, dir);
+        let rolled_back_to = found.map(|(good_path, good_snapshot, good_meta)| {
+            engine.publish(Arc::new(good_snapshot));
+            let mut inner = self.lock_inner();
+            inner.rollbacks += 1;
+            inner.last_good = Some((good_meta.generation, good_path));
+            good_meta.generation
+        });
+        {
+            let mut inner = self.lock_inner();
+            inner.quarantined += 1;
+            inner.rollback_files_skipped += skipped as u64;
+        }
+        self.fail(RetrainError::Quarantined {
+            generation,
+            cause,
+            rolled_back_to,
+        })
+    }
+
+    /// The blocking supervised loop: wait for buffered traffic (or
+    /// shutdown), step, repeat; on shutdown, drain remaining traffic
+    /// through one final step. The final health snapshot is returned.
+    ///
+    /// While the breaker is open the loop naps one poll interval per
+    /// refused step instead of spinning.
+    pub fn run(&self, engine: &ServeEngine) -> RetrainerHealth {
+        loop {
+            let stopping = self.retrainer.wait_for_work();
+            if stopping && self.retrainer.pending() == 0 {
+                break;
+            }
+            if let StepOutcome::BreakerOpen { .. } = self.step(engine) {
+                if stopping {
+                    break;
+                }
+                self.clock.sleep(self.retrainer.config().poll);
+            }
+            if stopping {
+                break;
+            }
+        }
+        self.health()
+    }
+
+    /// Spawn [`run`](Supervisor::run) as a background thread inside a
+    /// caller-owned scope (the supervised analogue of
+    /// [`Retrainer::spawn`]).
+    pub fn spawn<'scope, 'env>(
+        &'env self,
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        engine: &'env ServeEngine,
+    ) -> std::thread::ScopedJoinHandle<'scope, RetrainerHealth> {
+        scope.spawn(move || self.run(engine))
+    }
+}
+
+/// Render a panic payload as text (panics carry `String` or `&str`
+/// payloads in practice; anything else gets a placeholder).
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retrain::RetrainConfig;
+    use sqp_logsim::RawLogRecord;
+    use sqp_serve::{EngineConfig, ModelSpec, TrainingConfig};
+
+    fn rec(machine: u64, ts: u64, q: &str) -> RawLogRecord {
+        RawLogRecord {
+            machine_id: machine,
+            timestamp: ts,
+            query: q.into(),
+            clicks: vec![],
+        }
+    }
+
+    fn batch(prefix: &str, machine_base: u64) -> Vec<RawLogRecord> {
+        (machine_base..machine_base + 6)
+            .flat_map(|u| {
+                [
+                    rec(u, 100, "start"),
+                    rec(u, 150, &format!("{prefix}::next")),
+                ]
+            })
+            .collect()
+    }
+
+    fn training() -> TrainingConfig {
+        TrainingConfig {
+            model: ModelSpec::Adjacency,
+            ..TrainingConfig::default()
+        }
+    }
+
+    fn engine() -> ServeEngine {
+        ServeEngine::new(
+            Arc::new(ModelSnapshot::from_raw_logs(&batch("old", 0), &training())),
+            EngineConfig::default(),
+        )
+    }
+
+    #[test]
+    fn idle_and_memory_only_steps() {
+        let e = engine();
+        let retrainer = Retrainer::new(
+            RetrainConfig {
+                training: training(),
+                ..RetrainConfig::default()
+            },
+            Vec::new(),
+        );
+        let supervisor = Supervisor::new(&retrainer, SuperviseConfig::default());
+        assert!(matches!(supervisor.step(&e), StepOutcome::Idle));
+        retrainer.ingest_batch(batch("fresh", 100));
+        let outcome = supervisor.step(&e);
+        assert!(
+            matches!(
+                outcome,
+                StepOutcome::Published {
+                    generation: 1,
+                    path: None
+                }
+            ),
+            "{outcome:?}"
+        );
+        assert_eq!(e.generation(), 1);
+        let health = supervisor.health();
+        assert_eq!(health.retrains_ok, 1);
+        assert_eq!(health.breaker, BreakerState::Closed);
+        // No snapshot dir: last_good tracks only persisted generations.
+        assert_eq!(health.last_good_generation, None);
+    }
+
+    #[test]
+    fn persisted_step_publishes_the_loaded_file() {
+        let dir = std::env::temp_dir().join(format!("sqp-supervise-ok-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let e = engine();
+        let retrainer = Retrainer::new(
+            RetrainConfig {
+                training: training(),
+                snapshot_dir: Some(dir.clone()),
+                ..RetrainConfig::default()
+            },
+            batch("old", 0),
+        );
+        let supervisor = Supervisor::new(&retrainer, SuperviseConfig::default());
+        retrainer.ingest_batch(batch("fresh", 100));
+        let outcome = supervisor.step(&e);
+        let StepOutcome::Published { generation, path } = outcome else {
+            panic!("{outcome:?}");
+        };
+        assert_eq!(generation, 1);
+        assert!(path.as_ref().unwrap().exists());
+        assert_eq!(supervisor.health().last_good_generation, Some(1));
+        assert!(e
+            .suggest_context(&["start"], 10)
+            .iter()
+            .any(|s| s.query == "fresh::next"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -162,6 +162,7 @@ fn handles_loaded_before_a_swap_keep_serving_the_old_model() {
 fn idle_sessions_are_cut_and_evicted_at_the_thirty_minute_rule() {
     let cfg = EngineConfig {
         tracker: TrackerConfig::default(), // 30-minute cutoff
+        ..EngineConfig::default()
     };
     let engine = ServeEngine::new(tagged_snapshot("old"), cfg);
     let t0 = 10_000u64;
@@ -194,6 +195,86 @@ fn idle_sessions_are_cut_and_evicted_at_the_thirty_minute_rule() {
 }
 
 #[test]
+fn eviction_races_track_and_suggest_under_concurrent_publishes() {
+    // The three mutating paths at once: admission-controlled
+    // track_and_suggest traffic, periodic idle-eviction sweeps, and model
+    // publishes flipping between distinguishable snapshots. Nothing may
+    // tear (provenance stays pure), every non-shed request is answered,
+    // and no admission permit may leak.
+    let engine = Arc::new(ServeEngine::new(
+        tagged_snapshot("old"),
+        EngineConfig {
+            tracker: TrackerConfig {
+                shards: 4,
+                idle_cutoff_secs: 50,
+                ..TrackerConfig::default()
+            },
+            max_in_flight: 64,
+        },
+    ));
+    let answered = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for thread in 0..4u64 {
+            let engine = Arc::clone(&engine);
+            let answered = &answered;
+            let shed = &shed;
+            scope.spawn(move || {
+                for i in 0..3_000u64 {
+                    let user = thread * 10_000 + (i % 53);
+                    match engine.try_track_and_suggest(user, "seed", 3, i) {
+                        Ok(suggestions) => {
+                            provenance_of(&suggestions);
+                            answered.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        // Eviction sweeper: constantly reaps sessions the workers are
+        // simultaneously touching (their `now` advances past the cutoff).
+        {
+            let engine = Arc::clone(&engine);
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut now = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    now += 25;
+                    engine.evict_idle(now);
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Publisher: flip snapshots throughout.
+        let new_snapshot = tagged_snapshot("new");
+        let old_snapshot = tagged_snapshot("old");
+        for flip in 0..100 {
+            let next = if flip % 2 == 0 {
+                Arc::clone(&new_snapshot)
+            } else {
+                Arc::clone(&old_snapshot)
+            };
+            engine.publish(next);
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let total = answered.load(Ordering::Relaxed) + shed.load(Ordering::Relaxed);
+    assert_eq!(total, 4 * 3_000, "every request answered or counted shed");
+    assert_eq!(engine.in_flight(), 0, "admission permits leaked");
+    assert_eq!(engine.stats().shed, shed.load(Ordering::Relaxed));
+    // A final sweep drains whatever sessions survived the races.
+    engine.evict_idle(u64::MAX);
+    assert_eq!(engine.active_sessions(), 0);
+}
+
+#[test]
 fn tracking_and_eviction_race_cleanly() {
     let engine = Arc::new(ServeEngine::new(
         tagged_snapshot("old"),
@@ -203,6 +284,7 @@ fn tracking_and_eviction_race_cleanly() {
                 idle_cutoff_secs: 100,
                 ..TrackerConfig::default()
             },
+            ..EngineConfig::default()
         },
     ));
     std::thread::scope(|scope| {
