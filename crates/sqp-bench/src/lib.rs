@@ -11,6 +11,7 @@
 pub mod baseline;
 pub mod chaos;
 pub mod harness;
+pub mod router_loop;
 pub mod serve_loop;
 
 pub use harness::{BenchmarkId, Criterion};

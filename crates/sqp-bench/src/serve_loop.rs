@@ -1,11 +1,17 @@
 //! Multi-threaded serving stress harness (`serve_loop`).
 //!
-//! Drives a [`ServeEngine`] with N worker threads of mixed traffic —
+//! Drives a serving surface with N worker threads of mixed traffic —
 //! `track_and_suggest` round trips, batched suggests, periodic idle
 //! eviction — while a trainer thread retrains the model mid-run and
 //! atomically publishes the new snapshots. Every operation's latency is
 //! recorded; the report carries throughput plus the p50/p99/max tail, which
 //! is exactly what a publication stall would show up in.
+//!
+//! The workload is generic over [`ServeSurface`] — implemented by the
+//! single [`ServeEngine`] and by the replicated
+//! [`RouterEngine`](sqp_router::RouterEngine) tier (see
+//! [`run_on`] / `router_loop`) — so "router overhead vs single engine" is
+//! measured on byte-identical traffic.
 //!
 //! The harness is deterministic in *workload* (seeded per-thread PRNGs over
 //! a fixed simulated corpus) but not in interleaving — it is a stress
@@ -18,11 +24,57 @@
 use sqp_common::rng::{Rng, StdRng};
 use sqp_core::VmmConfig;
 use sqp_serve::{
-    EngineConfig, ModelSnapshot, ModelSpec, ServeEngine, SuggestRequest, TrainingConfig,
+    EngineConfig, ModelSnapshot, ModelSpec, ServeEngine, SuggestRequest, Suggestion, TrainingConfig,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The operations the stress workload needs from a serving tier — the
+/// common surface of [`ServeEngine`] and
+/// [`RouterEngine`](sqp_router::RouterEngine), so the same seeded traffic
+/// measures both.
+pub trait ServeSurface: Sync {
+    /// Record `query` for `user` and suggest against the updated context.
+    fn track_and_suggest(&self, user: u64, query: &str, k: usize, now: u64) -> Vec<Suggestion>;
+    /// Batched suggestion in request order.
+    fn suggest_batch(&self, requests: &[SuggestRequest], now: u64) -> Vec<Vec<Suggestion>>;
+    /// Drop idle sessions; returns how many.
+    fn evict_idle(&self, now: u64) -> usize;
+    /// Publish a new snapshot to the whole surface (every replica, for a
+    /// tier).
+    fn publish(&self, snapshot: Arc<ModelSnapshot>);
+    /// The surface's fully-propagated generation (minimum across replicas).
+    fn generation(&self) -> u64;
+    /// Total individual suggestions computed.
+    fn suggests_total(&self) -> u64;
+    /// Sessions currently resident.
+    fn active_sessions(&self) -> usize;
+}
+
+impl ServeSurface for ServeEngine {
+    fn track_and_suggest(&self, user: u64, query: &str, k: usize, now: u64) -> Vec<Suggestion> {
+        ServeEngine::track_and_suggest(self, user, query, k, now)
+    }
+    fn suggest_batch(&self, requests: &[SuggestRequest], now: u64) -> Vec<Vec<Suggestion>> {
+        ServeEngine::suggest_batch(self, requests, now)
+    }
+    fn evict_idle(&self, now: u64) -> usize {
+        ServeEngine::evict_idle(self, now)
+    }
+    fn publish(&self, snapshot: Arc<ModelSnapshot>) {
+        ServeEngine::publish(self, snapshot);
+    }
+    fn generation(&self) -> u64 {
+        ServeEngine::generation(self)
+    }
+    fn suggests_total(&self) -> u64 {
+        self.stats().suggests
+    }
+    fn active_sessions(&self) -> usize {
+        ServeEngine::active_sessions(self)
+    }
+}
 
 /// Workload shape for one `serve_loop` run.
 #[derive(Clone, Copy, Debug)]
@@ -124,13 +176,18 @@ fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
     sorted_ns[idx] as f64 / 1_000.0
 }
 
-/// Build the initial snapshot and the engine the loop will hammer, plus
-/// the raw records (for retraining) and the trained vocabulary (for
-/// traffic generation). Generating the simulated corpus is the expensive
-/// part, so it happens exactly once here.
-pub fn build_engine(
+/// Build the initial trained snapshot for `cfg`, plus the raw records (for
+/// retraining) and the trained vocabulary (for traffic generation).
+/// Generating the simulated corpus is the expensive part, so callers that
+/// compare surfaces do it exactly once here and hand each surface the same
+/// parts.
+pub fn build_parts(
     cfg: &ServeLoopConfig,
-) -> (Arc<ServeEngine>, Vec<String>, Vec<sqp_logsim::RawLogRecord>) {
+) -> (
+    Arc<ModelSnapshot>,
+    Vec<String>,
+    Vec<sqp_logsim::RawLogRecord>,
+) {
     let records = crate::bench_records(cfg.corpus_sessions, cfg.seed);
     let training = TrainingConfig {
         model: ModelSpec::Vmm(VmmConfig::with_epsilon(0.05)),
@@ -146,15 +203,37 @@ pub fn build_engine(
         .map(|(_, s)| s.to_owned())
         .collect();
     assert!(!vocabulary.is_empty(), "empty training vocabulary");
+    (snapshot, vocabulary, records)
+}
+
+/// Build the initial snapshot and the engine the loop will hammer, plus
+/// the raw records and vocabulary from [`build_parts`].
+pub fn build_engine(
+    cfg: &ServeLoopConfig,
+) -> (Arc<ServeEngine>, Vec<String>, Vec<sqp_logsim::RawLogRecord>) {
+    let (snapshot, vocabulary, records) = build_parts(cfg);
     let engine = Arc::new(ServeEngine::new(snapshot, EngineConfig::default()));
     (engine, vocabulary, records)
 }
 
-/// Run the stress loop: `cfg.threads` workers of mixed traffic with
-/// `cfg.swaps` mid-run model publications.
+/// Run the stress loop against a single [`ServeEngine`]: `cfg.threads`
+/// workers of mixed traffic with `cfg.swaps` mid-run model publications.
 pub fn run(cfg: &ServeLoopConfig) -> ServeLoopReport {
-    assert!(cfg.threads >= 1 && cfg.ops_per_thread > 0);
     let (engine, vocabulary, records) = build_engine(cfg);
+    run_on(engine.as_ref(), cfg, &vocabulary, &records)
+}
+
+/// Run the stress loop against any [`ServeSurface`] with a pre-built corpus
+/// (from [`build_parts`]). Traffic is identical for identical `cfg`
+/// regardless of the surface, so reports from a single engine and a router
+/// tier are directly comparable.
+pub fn run_on<S: ServeSurface>(
+    engine: &S,
+    cfg: &ServeLoopConfig,
+    vocabulary: &[String],
+    records: &[sqp_logsim::RawLogRecord],
+) -> ServeLoopReport {
+    assert!(cfg.threads >= 1 && cfg.ops_per_thread > 0);
 
     let total_ops_target = (cfg.threads * cfg.ops_per_thread) as u64;
     let ops_done = AtomicU64::new(0);
@@ -174,8 +253,8 @@ pub fn run(cfg: &ServeLoopConfig) -> ServeLoopReport {
     let mut elapsed = 0.0f64;
     std::thread::scope(|scope| {
         // Trainer: retrain and publish at evenly spaced points of the run.
-        let trainer_engine = Arc::clone(&engine);
-        let trainer_records = &records;
+        let trainer_engine = engine;
+        let trainer_records = records;
         let ops_done_ref = &ops_done;
         let swaps_done_ref = &swaps_done;
         let mid_run_swaps_ref = &mid_run_swaps;
@@ -207,8 +286,6 @@ pub fn run(cfg: &ServeLoopConfig) -> ServeLoopReport {
         // Workers: seeded mixed traffic.
         let handles: Vec<_> = (0..cfg.threads)
             .map(|thread| {
-                let engine = Arc::clone(&engine);
-                let vocabulary = &vocabulary;
                 let ops_done = &ops_done;
                 let nonempty = &nonempty;
                 let swaps_done = &swaps_done;
@@ -279,14 +356,14 @@ pub fn run(cfg: &ServeLoopConfig) -> ServeLoopReport {
     let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
     all.sort_unstable();
     let ops_total = all.len() as u64;
-    let stats = engine.stats();
+    let suggests_total = engine.suggests_total();
     let active_sessions = engine.active_sessions();
     let evicted_at_end = engine.evict_idle(u64::MAX / 2);
 
     ServeLoopReport {
         threads: cfg.threads,
         ops_total,
-        suggests_total: stats.suggests,
+        suggests_total,
         nonempty_suggestions: nonempty.load(Ordering::Relaxed),
         elapsed_secs: elapsed,
         throughput_ops_per_sec: ops_total as f64 / elapsed.max(1e-9),

@@ -1,0 +1,559 @@
+//! The routed serving tier: N independent [`ServeEngine`] replicas behind
+//! one consistent-hash front door.
+//!
+//! Each replica owns its own session tracker, snapshot cell, admission
+//! budget, and counters — there is no shared mutable state between
+//! replicas, so the tier scales by adding replicas, not by making one
+//! engine's stripes wider. A user's id hashes onto the [`HashRing`] and
+//! every request for that user goes to the same replica, which is where
+//! their session context lives. Replicas can therefore sit on *different*
+//! model generations mid-roll without any request ever seeing a mix: a
+//! suggestion is computed by exactly one replica against exactly one
+//! snapshot handle (the single-engine no-torn-reads guarantee, inherited
+//! per replica).
+//!
+//! Publication comes in two shapes, both replica-at-a-time underneath:
+//! [`RouterEngine::publish`] fans one in-memory snapshot out to every
+//! replica (an atomic swap each), while the rolling/fan-out *from disk*
+//! paths — which validate bytes per replica and quarantine failures — live
+//! in `sqp-store`'s `rollout` module, keeping this crate free of any
+//! storage dependency.
+
+use crate::ring::{HashRing, DEFAULT_VNODES};
+use sqp_common::hash::fx_hash_one;
+use sqp_serve::{
+    EngineConfig, EngineStats, ModelSnapshot, Overloaded, ServeEngine, SuggestRequest, Suggestion,
+    TrackOutcome,
+};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Router construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterConfig {
+    /// Number of [`ServeEngine`] replicas to own. Each gets its own
+    /// tracker/budget from `engine`, so memory and the admission budget
+    /// both scale ×`replicas`.
+    pub replicas: usize,
+    /// Virtual nodes per replica on the hash ring (see
+    /// [`DEFAULT_VNODES`]).
+    pub vnodes: usize,
+    /// Per-replica engine configuration.
+    pub engine: EngineConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 4,
+            vnodes: DEFAULT_VNODES,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Per-replica health record, written on publish/quarantine transitions
+/// (never on the serve path).
+#[derive(Debug, Default)]
+struct Health {
+    quarantined: bool,
+    last_error: Option<String>,
+}
+
+/// One replica's row in [`RouterStats`].
+#[derive(Clone, Debug)]
+pub struct ReplicaStats {
+    /// Model generation the replica is serving (its publish count).
+    pub generation: u64,
+    /// The replica engine's lock-free counters and gauges.
+    pub stats: EngineStats,
+    /// Requests currently holding the replica's admission permits.
+    pub in_flight: u64,
+    /// True when the replica's last publication attempt failed validation
+    /// and it is pinned on its last-good snapshot.
+    pub quarantined: bool,
+    /// The error that quarantined it, if any (kept after recovery until the
+    /// next successful publish overwrites it).
+    pub last_error: Option<String>,
+}
+
+/// Point-in-time view of the whole tier, one row per replica, plus the
+/// generation envelope — the introspection an operator watches during a
+/// rolling upgrade.
+#[derive(Clone, Debug)]
+pub struct RouterStats {
+    /// Per-replica rows, indexed by replica id.
+    pub replicas: Vec<ReplicaStats>,
+}
+
+impl RouterStats {
+    /// Lowest replica generation (the roll's trailing edge).
+    pub fn min_generation(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|r| r.generation)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Highest replica generation (the roll's leading edge).
+    pub fn max_generation(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|r| r.generation)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `max_generation - min_generation`: 0 when the tier is converged,
+    /// ≥1 while a roll is in flight or a replica is stuck/quarantined.
+    pub fn generation_skew(&self) -> u64 {
+        self.max_generation() - self.min_generation()
+    }
+
+    /// True when every replica serves the same generation.
+    pub fn is_converged(&self) -> bool {
+        self.generation_skew() == 0
+    }
+
+    /// Number of replicas currently quarantined.
+    pub fn quarantined(&self) -> usize {
+        self.replicas.iter().filter(|r| r.quarantined).count()
+    }
+}
+
+/// A replicated query-suggestion tier: consistent-hash routing over N
+/// independently locked [`ServeEngine`] replicas.
+///
+/// All methods take `&self`; the router is meant to live in an [`Arc`]
+/// shared across worker threads, exactly like a single engine.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use sqp_logsim::RawLogRecord;
+/// use sqp_router::{RouterConfig, RouterEngine};
+/// use sqp_serve::{ModelSnapshot, ModelSpec, TrainingConfig};
+///
+/// let rec = |machine, ts, q: &str| RawLogRecord {
+///     machine_id: machine, timestamp: ts, query: q.into(), clicks: vec![],
+/// };
+/// let mut records = Vec::new();
+/// for u in 0..5 {
+///     records.push(rec(u, 100, "rust"));
+///     records.push(rec(u, 150, "rust atomics"));
+/// }
+/// let cfg = TrainingConfig { model: ModelSpec::Adjacency, ..TrainingConfig::default() };
+/// let snapshot = Arc::new(ModelSnapshot::from_raw_logs(&records, &cfg));
+/// let router = RouterEngine::new(snapshot, RouterConfig::default());
+///
+/// let top = router.track_and_suggest(42, "rust", 3, 1_000);
+/// assert_eq!(top[0].query, "rust atomics");
+/// // The same user always lands on the same replica.
+/// assert_eq!(router.replica_for(42), router.replica_for(42));
+/// ```
+pub struct RouterEngine {
+    replicas: Vec<Arc<ServeEngine>>,
+    health: Vec<Mutex<Health>>,
+    ring: HashRing,
+}
+
+impl RouterEngine {
+    /// Build a tier of `cfg.replicas` engines (at least 1), every replica
+    /// starting on `snapshot` at generation 0.
+    pub fn new(snapshot: Arc<ModelSnapshot>, cfg: RouterConfig) -> Self {
+        let n = cfg.replicas.max(1);
+        let replicas: Vec<Arc<ServeEngine>> = (0..n)
+            .map(|_| Arc::new(ServeEngine::new(Arc::clone(&snapshot), cfg.engine)))
+            .collect();
+        let health = (0..n).map(|_| Mutex::new(Health::default())).collect();
+        Self {
+            replicas,
+            health,
+            ring: HashRing::new(n, cfg.vnodes),
+        }
+    }
+
+    /// Number of replicas in the tier.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The replica index serving `user` — stable for the tier's lifetime,
+    /// so a user's session context is always found where it was written.
+    pub fn replica_for(&self, user: u64) -> usize {
+        self.ring.route(user) as usize
+    }
+
+    /// Direct handle to replica `index` (for tests and publication paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= replica_count()`.
+    pub fn replica(&self, index: usize) -> &Arc<ServeEngine> {
+        &self.replicas[index]
+    }
+
+    /// The routing ring (for inspection; the router's ring is fixed at
+    /// construction — replica membership does not change at runtime, which
+    /// is what makes mid-roll stickiness trivial to guarantee).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    fn engine_for(&self, user: u64) -> &ServeEngine {
+        &self.replicas[self.replica_for(user)]
+    }
+
+    /// Record a query issued by `user` at `now` on their home replica.
+    pub fn track(&self, user: u64, query: &str, now: u64) -> TrackOutcome {
+        self.engine_for(user).track(user, query, now)
+    }
+
+    /// Top-`k` suggestions for `user`'s tracked session, from their home
+    /// replica's current snapshot.
+    pub fn suggest(&self, user: u64, k: usize, now: u64) -> Vec<Suggestion> {
+        self.engine_for(user).suggest(user, k, now)
+    }
+
+    /// Record `query` for `user` and immediately suggest against the
+    /// updated context — the common round trip, routed to the home replica.
+    pub fn track_and_suggest(&self, user: u64, query: &str, k: usize, now: u64) -> Vec<Suggestion> {
+        self.engine_for(user).track_and_suggest(user, query, k, now)
+    }
+
+    /// Admission-controlled [`track_and_suggest`](Self::track_and_suggest):
+    /// the home replica's in-flight budget decides, so overload on one
+    /// replica sheds only its own users.
+    pub fn try_track_and_suggest(
+        &self,
+        user: u64,
+        query: &str,
+        k: usize,
+        now: u64,
+    ) -> Result<Vec<Suggestion>, Overloaded> {
+        self.engine_for(user)
+            .try_track_and_suggest(user, query, k, now)
+    }
+
+    /// Admission-controlled [`suggest`](Self::suggest).
+    pub fn try_suggest(
+        &self,
+        user: u64,
+        k: usize,
+        now: u64,
+    ) -> Result<Vec<Suggestion>, Overloaded> {
+        self.engine_for(user).try_suggest(user, k, now)
+    }
+
+    /// Batched suggestion across the tier: requests are scattered to each
+    /// user's home replica (preserving request order within each
+    /// sub-batch, so same-replica callers keep the single engine's stripe
+    /// amortization) and the results gathered back into request order.
+    /// Each sub-batch runs against exactly one replica snapshot, so every
+    /// entry's suggestions are wholly from one model even mid-roll.
+    pub fn suggest_batch(&self, requests: &[SuggestRequest], now: u64) -> Vec<Vec<Suggestion>> {
+        // Fast path: a single-replica tier is just the engine.
+        if self.replicas.len() == 1 {
+            return self.replicas[0].suggest_batch(requests, now);
+        }
+        let mut per_replica: Vec<Vec<usize>> = vec![Vec::new(); self.replicas.len()];
+        for (at, request) in requests.iter().enumerate() {
+            per_replica[self.replica_for(request.user)].push(at);
+        }
+        let mut out: Vec<Vec<Suggestion>> = vec![Vec::new(); requests.len()];
+        let mut sub: Vec<SuggestRequest> = Vec::new();
+        for (replica, members) in per_replica.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            sub.clear();
+            sub.extend(members.iter().map(|&at| requests[at]));
+            let answers = self.replicas[replica].suggest_batch(&sub, now);
+            for (&at, answer) in members.iter().zip(answers) {
+                out[at] = answer;
+            }
+        }
+        out
+    }
+
+    /// Stateless suggestion for an explicit context. No session is
+    /// involved, so any replica could answer; the context itself is hashed
+    /// onto the ring to spread these deterministically.
+    pub fn suggest_context(&self, context: &[&str], k: usize) -> Vec<Suggestion> {
+        let replica = self.ring.route_hash(fx_hash_one(&context)) as usize;
+        self.replicas[replica].suggest_context(context, k)
+    }
+
+    /// Fan an in-memory snapshot out to every replica — N atomic swaps, in
+    /// replica order. Each swap also lifts that replica's quarantine: a
+    /// direct publish hands the replica known-good bytes, superseding
+    /// whatever failed before. Returns the tier's minimum generation after
+    /// the fan-out (the roll's trailing edge).
+    pub fn publish(&self, snapshot: Arc<ModelSnapshot>) -> u64 {
+        for index in 0..self.replicas.len() {
+            self.publish_to(index, Arc::clone(&snapshot));
+        }
+        self.replicas
+            .iter()
+            .map(|r| r.generation())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Publish to a single replica (one atomic swap) and mark it active.
+    /// This is the step primitive rolling upgrades are built from. Returns
+    /// the replica's new generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= replica_count()`.
+    pub fn publish_to(&self, index: usize, snapshot: Arc<ModelSnapshot>) -> u64 {
+        let generation = self.replicas[index].publish(snapshot);
+        self.lock_health(index).quarantined = false;
+        generation
+    }
+
+    /// Pin replica `index` on its current (last-good) snapshot and record
+    /// why its publication failed. The replica keeps serving — quarantine
+    /// is a publication-side state, not a traffic stop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= replica_count()`.
+    pub fn mark_quarantined(&self, index: usize, error: impl Into<String>) {
+        let mut health = self.lock_health(index);
+        health.quarantined = true;
+        health.last_error = Some(error.into());
+    }
+
+    /// Clear replica `index`'s quarantine without publishing (operator
+    /// override). The last error is kept for forensics until the next
+    /// successful publish.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= replica_count()`.
+    pub fn mark_active(&self, index: usize) {
+        self.lock_health(index).quarantined = false;
+    }
+
+    /// True when replica `index` is quarantined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= replica_count()`.
+    pub fn is_quarantined(&self, index: usize) -> bool {
+        self.lock_health(index).quarantined
+    }
+
+    fn lock_health(&self, index: usize) -> std::sync::MutexGuard<'_, Health> {
+        // Health transitions are trivially tear-proof (two plain fields);
+        // recover rather than propagate a panicking publisher's poison.
+        self.health[index]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Drop idle sessions across every replica; returns the total evicted.
+    pub fn evict_idle(&self, now: u64) -> usize {
+        self.replicas.iter().map(|r| r.evict_idle(now)).sum()
+    }
+
+    /// Sessions resident across the tier (sum of per-replica lock-free
+    /// gauges).
+    pub fn active_sessions(&self) -> usize {
+        self.replicas.iter().map(|r| r.active_sessions()).sum()
+    }
+
+    /// Snapshot the whole tier's health: per-replica generation, counters,
+    /// in-flight, and quarantine state. The engine rows are pure atomic
+    /// loads (no stripe locks — see [`EngineStats`]); the only locks taken
+    /// are the cold per-replica health mutexes, which the serve path never
+    /// touches.
+    pub fn stats(&self) -> RouterStats {
+        let replicas = self
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(index, engine)| {
+                let health = self.lock_health(index);
+                ReplicaStats {
+                    generation: engine.generation(),
+                    stats: engine.stats(),
+                    in_flight: engine.in_flight(),
+                    quarantined: health.quarantined,
+                    last_error: health.last_error.clone(),
+                }
+            })
+            .collect();
+        RouterStats { replicas }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqp_logsim::RawLogRecord;
+    use sqp_serve::{ModelSpec, TrainingConfig};
+
+    fn rec(machine: u64, ts: u64, q: &str) -> RawLogRecord {
+        RawLogRecord {
+            machine_id: machine,
+            timestamp: ts,
+            query: q.into(),
+            clicks: vec![],
+        }
+    }
+
+    fn snapshot(prefix: &str) -> Arc<ModelSnapshot> {
+        let mut records = Vec::new();
+        for u in 0..6 {
+            records.push(rec(u, 100, "start"));
+            records.push(rec(u, 160, &format!("{prefix}::next")));
+        }
+        Arc::new(ModelSnapshot::from_raw_logs(
+            &records,
+            &TrainingConfig {
+                model: ModelSpec::Adjacency,
+                ..TrainingConfig::default()
+            },
+        ))
+    }
+
+    fn router(replicas: usize) -> RouterEngine {
+        RouterEngine::new(
+            snapshot("old"),
+            RouterConfig {
+                replicas,
+                ..RouterConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn routes_are_sticky_and_sessions_live_on_one_replica() {
+        let r = router(4);
+        for user in 0..200u64 {
+            assert_eq!(r.replica_for(user), r.replica_for(user));
+        }
+        r.track(7, "start", 100);
+        let home = r.replica_for(7);
+        // The session context exists only on the home replica.
+        for index in 0..r.replica_count() {
+            let context = r.replica(index).tracker().context(7, 110);
+            if index == home {
+                assert_eq!(context, vec!["start"]);
+            } else {
+                assert!(context.is_empty(), "session leaked to replica {index}");
+            }
+        }
+        assert_eq!(r.suggest(7, 1, 110)[0].query, "old::next");
+    }
+
+    #[test]
+    fn batch_matches_individual_calls_across_replicas() {
+        let r = router(4);
+        for user in 0..64 {
+            r.track(user, "start", 100);
+        }
+        let requests: Vec<SuggestRequest> = (0..64)
+            .chain([999]) // never tracked
+            .map(|user| SuggestRequest { user, k: 2 })
+            .collect();
+        let batch = r.suggest_batch(&requests, 150);
+        assert_eq!(batch.len(), 65);
+        for (request, got) in requests.iter().zip(&batch) {
+            assert_eq!(
+                *got,
+                r.suggest(request.user, request.k, 150),
+                "user {}",
+                request.user
+            );
+        }
+        assert!(batch[64].is_empty());
+    }
+
+    #[test]
+    fn fan_out_publish_converges_every_replica() {
+        let r = router(3);
+        r.track(1, "start", 100);
+        assert_eq!(r.publish(snapshot("new")), 1);
+        let stats = r.stats();
+        assert!(stats.is_converged());
+        assert_eq!(stats.max_generation(), 1);
+        assert_eq!(r.suggest(1, 1, 110)[0].query, "new::next");
+    }
+
+    #[test]
+    fn per_replica_publish_creates_and_reports_skew() {
+        let r = router(3);
+        r.publish_to(0, snapshot("new"));
+        let stats = r.stats();
+        assert_eq!(stats.min_generation(), 0);
+        assert_eq!(stats.max_generation(), 1);
+        assert_eq!(stats.generation_skew(), 1);
+        assert!(!stats.is_converged());
+    }
+
+    #[test]
+    fn quarantine_marks_report_and_publish_clears() {
+        let r = router(2);
+        r.mark_quarantined(1, "checksum mismatch");
+        assert!(r.is_quarantined(1));
+        let stats = r.stats();
+        assert_eq!(stats.quarantined(), 1);
+        assert_eq!(
+            stats.replicas[1].last_error.as_deref(),
+            Some("checksum mismatch")
+        );
+        // A quarantined replica still serves.
+        r.track(2, "start", 100);
+        let home = r.replica_for(2);
+        r.mark_quarantined(home, "still serving?");
+        assert_eq!(r.suggest(2, 1, 110)[0].query, "old::next");
+        // Publishing good bytes lifts the quarantine.
+        r.publish_to(1, snapshot("new"));
+        assert!(!r.is_quarantined(1));
+        r.mark_active(home);
+        assert_eq!(r.stats().quarantined(), 0);
+    }
+
+    #[test]
+    fn overload_sheds_per_replica() {
+        let r = RouterEngine::new(
+            snapshot("old"),
+            RouterConfig {
+                replicas: 2,
+                engine: EngineConfig {
+                    max_in_flight: 1,
+                    ..EngineConfig::default()
+                },
+                ..RouterConfig::default()
+            },
+        );
+        // Saturate user 1's home replica only.
+        let home = r.replica_for(1);
+        let _permit = r.replica(home).admit().unwrap();
+        assert!(r.try_track_and_suggest(1, "start", 1, 100).is_err());
+        // A user on the *other* replica is unaffected.
+        let other_user = (0..u64::MAX)
+            .find(|&u| r.replica_for(u) != home)
+            .expect("some user maps to the other replica");
+        assert!(r.try_track_and_suggest(other_user, "start", 1, 100).is_ok());
+        assert_eq!(r.stats().replicas[home].stats.shed, 1);
+    }
+
+    #[test]
+    fn eviction_and_residency_aggregate() {
+        let r = router(4);
+        for user in 0..50 {
+            r.track(user, "start", 0);
+        }
+        assert_eq!(r.active_sessions(), 50);
+        assert_eq!(r.evict_idle(u64::MAX / 2), 50);
+        assert_eq!(r.active_sessions(), 0);
+        let total_evictions: u64 = r.stats().replicas.iter().map(|x| x.stats.evictions).sum();
+        assert_eq!(total_evictions, 50);
+    }
+}

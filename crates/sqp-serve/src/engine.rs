@@ -85,7 +85,10 @@ pub struct SuggestRequest {
     pub k: usize,
 }
 
-/// Monotonic operation counters, readable at any time.
+/// Operation counters and gauges, snapshotted without taking any stripe
+/// lock — [`ServeEngine::stats`] is plain atomic loads, so a stats poller
+/// (e.g. a router collecting per-replica health every tick) never contends
+/// with `track_and_suggest` traffic.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Queries recorded via `track` (including the tracked half of
@@ -97,6 +100,12 @@ pub struct EngineStats {
     pub publishes: u64,
     /// Requests shed by admission control ([`ServeEngine::admit`] refusals).
     pub shed: u64,
+    /// Sessions dropped by [`ServeEngine::evict_idle`] over the engine's
+    /// lifetime (monotonic; lazy per-`track` resets are not counted).
+    pub evictions: u64,
+    /// Sessions currently resident in the tracker (a gauge, not a counter —
+    /// it goes down when sessions are evicted or cleared).
+    pub active_sessions: u64,
 }
 
 /// A concurrent query-suggestion server over a hot-swappable model.
@@ -132,6 +141,7 @@ pub struct ServeEngine {
     current: Swap<ModelSnapshot>,
     tracks: AtomicU64,
     suggests: AtomicU64,
+    evictions: AtomicU64,
     max_in_flight: usize,
     in_flight: AtomicU64,
     shed: AtomicU64,
@@ -166,6 +176,7 @@ impl ServeEngine {
             current: Swap::new(snapshot),
             tracks: AtomicU64::new(0),
             suggests: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             max_in_flight: cfg.max_in_flight,
             in_flight: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -267,7 +278,8 @@ impl ServeEngine {
             // panic here poisons the lock, exercising the tracker's poison
             // recovery; an injected stall models a slow shard.
             self.hazard.strike(&self.shard_sites[shard_idx]);
-            let (_, state) = shard.track(user, query, now, self.tracker.config());
+            let (_, state, inserted) = shard.track(user, query, now, self.tracker.config());
+            self.tracker.note_insert(inserted);
             snapshot.resolve_context_into(state.ring.iter(), &mut ids)
         };
         if !covered {
@@ -381,10 +393,14 @@ impl ServeEngine {
 
     /// Drop sessions idle past the cutoff at `now`; returns how many.
     pub fn evict_idle(&self, now: u64) -> usize {
-        self.tracker.evict_idle(now)
+        let evicted = self.tracker.evict_idle(now);
+        self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        evicted
     }
 
-    /// Sessions currently resident in the tracker.
+    /// Sessions currently resident in the tracker. Lock-free (a gauge
+    /// maintained under the stripe locks), so stats pollers never contend
+    /// with serving.
     pub fn active_sessions(&self) -> usize {
         self.tracker.active_sessions()
     }
@@ -394,13 +410,17 @@ impl ServeEngine {
         &self.tracker
     }
 
-    /// Snapshot of the operation counters.
+    /// Snapshot of the operation counters and gauges. Entirely atomic
+    /// loads — no stripe lock is taken, so this is safe to poll at any
+    /// frequency (a router snapshots every replica per stats call).
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             tracks: self.tracks.load(Ordering::Relaxed),
             suggests: self.suggests.load(Ordering::Relaxed),
             publishes: self.current.generation(),
             shed: self.shed.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            active_sessions: self.tracker.active_sessions() as u64,
         }
     }
 }
@@ -578,5 +598,22 @@ mod tests {
         assert_eq!(e.active_sessions(), 1);
         assert_eq!(e.evict_idle(u64::MAX / 2), 1);
         assert_eq!(e.active_sessions(), 0);
+    }
+
+    #[test]
+    fn stats_expose_evictions_and_residency_lock_free() {
+        let e = engine();
+        e.track(1, "start", 0);
+        e.track_and_suggest(2, "start", 1, 0);
+        let stats = e.stats();
+        assert_eq!(stats.active_sessions, 2);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(e.evict_idle(u64::MAX / 2), 2);
+        let stats = e.stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.active_sessions, 0);
+        // Evictions are monotonic across repeated (empty) sweeps.
+        assert_eq!(e.evict_idle(u64::MAX / 2), 0);
+        assert_eq!(e.stats().evictions, 2);
     }
 }

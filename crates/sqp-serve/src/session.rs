@@ -22,6 +22,8 @@
 
 use sqp_common::hash::fx_hash_one;
 use sqp_common::FxHashMap;
+use std::collections::hash_map::Entry;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// The conventional idle cutoff, re-exported from the offline pipeline so
@@ -136,19 +138,28 @@ pub(crate) struct Shard {
 impl Shard {
     /// Apply one tracked query while the stripe is locked: reset the ring
     /// if the idle cutoff has passed, append the query, stamp `last_seen`.
-    /// Returns the outcome plus the updated state (so fused serve paths can
-    /// resolve the context in the same critical section).
+    /// Returns the outcome, the updated state (so fused serve paths can
+    /// resolve the context in the same critical section), and whether a new
+    /// map entry was inserted (the caller bumps the tracker-wide resident
+    /// gauge while the stripe is still held, so the gauge never transiently
+    /// disagrees with an eviction on the same stripe).
     pub(crate) fn track(
         &mut self,
         user: u64,
         query: &str,
         now: u64,
         cfg: &TrackerConfig,
-    ) -> (TrackOutcome, &SessionState) {
-        let state = self.sessions.entry(user).or_insert_with(|| SessionState {
-            ring: ContextRing::new(cfg.context_capacity),
-            last_seen: now,
-        });
+    ) -> (TrackOutcome, &SessionState, bool) {
+        let (state, inserted) = match self.sessions.entry(user) {
+            Entry::Occupied(entry) => (entry.into_mut(), false),
+            Entry::Vacant(entry) => (
+                entry.insert(SessionState {
+                    ring: ContextRing::new(cfg.context_capacity),
+                    last_seen: now,
+                }),
+                true,
+            ),
+        };
         let expired =
             !state.ring.is_empty() && now.saturating_sub(state.last_seen) > cfg.idle_cutoff_secs;
         if expired {
@@ -163,6 +174,7 @@ impl Shard {
                 context_len: state.ring.len(),
             },
             state,
+            inserted,
         )
     }
 }
@@ -189,6 +201,11 @@ pub struct SessionTracker {
     shards: Box<[Mutex<Shard>]>,
     mask: u64,
     cfg: TrackerConfig,
+    /// Sessions currently resident across all stripes. Maintained under the
+    /// owning stripe's lock at every insert/remove, so a plain atomic load
+    /// reads an exact count without touching any stripe — stats collection
+    /// (e.g. a router polling every replica) never contends with serving.
+    resident: AtomicUsize,
 }
 
 impl SessionTracker {
@@ -199,6 +216,7 @@ impl SessionTracker {
             shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
             mask: (n - 1) as u64,
             cfg,
+            resident: AtomicUsize::new(0),
         }
     }
 
@@ -229,12 +247,23 @@ impl SessionTracker {
             .unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Bump the resident gauge for a fresh map insert. Must be called while
+    /// the stripe that performed the insert is still locked (see
+    /// [`Shard::track`]).
+    pub(crate) fn note_insert(&self, inserted: bool) {
+        if inserted {
+            self.resident.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Record a query issued by `user` at `now` (seconds). Applies the idle
     /// cutoff lazily: a gap beyond the cutoff discards the stale context and
     /// starts a fresh session.
     pub fn track(&self, user: u64, query: &str, now: u64) -> TrackOutcome {
         let mut shard = self.lock_shard(self.shard_index(user));
-        shard.track(user, query, now, &self.cfg).0
+        let (outcome, _, inserted) = shard.track(user, query, now, &self.cfg);
+        self.note_insert(inserted);
+        outcome
     }
 
     /// The live context for `user` at `now`, oldest query first. Empty when
@@ -251,10 +280,13 @@ impl SessionTracker {
 
     /// Forget `user` entirely. Returns true if a session existed.
     pub fn clear(&self, user: u64) -> bool {
-        self.lock_shard(self.shard_index(user))
-            .sessions
-            .remove(&user)
-            .is_some()
+        let mut shard = self.lock_shard(self.shard_index(user));
+        let removed = shard.sessions.remove(&user).is_some();
+        if removed {
+            // Still under the stripe lock: the gauge and the map agree.
+            self.resident.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
     }
 
     /// Drop every session idle past the cutoff at `now`, reclaiming the
@@ -271,24 +303,20 @@ impl SessionTracker {
             shard
                 .sessions
                 .retain(|_, state| now.saturating_sub(state.last_seen) <= cutoff);
-            evicted += before - shard.sessions.len();
+            let dropped = before - shard.sessions.len();
+            // Still under this stripe's lock: the gauge and the map agree.
+            self.resident.fetch_sub(dropped, Ordering::Relaxed);
+            evicted += dropped;
         }
         evicted
     }
 
     /// Number of sessions currently resident (including idle ones not yet
-    /// evicted).
+    /// evicted). Lock-free: reads a gauge maintained under the stripe locks,
+    /// so polling this (e.g. per-replica router stats) never contends with
+    /// `track`/`suggest` traffic.
     pub fn active_sessions(&self) -> usize {
-        self.shards
-            .iter()
-            // Poison recovery: see `lock_shard`.
-            .map(|s| {
-                s.lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .sessions
-                    .len()
-            })
-            .sum()
+        self.resident.load(Ordering::Relaxed)
     }
 }
 
@@ -399,6 +427,29 @@ mod tests {
             t.track(5, q, i as u64);
         }
         assert_eq!(t.context(5, 3), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn resident_gauge_stays_exact_without_locking() {
+        let cfg = TrackerConfig {
+            idle_cutoff_secs: 60,
+            shards: 4,
+            ..TrackerConfig::default()
+        };
+        let t = SessionTracker::new(cfg);
+        for u in 0..10 {
+            t.track(u, "q", 0);
+            t.track(u, "q2", 1); // re-track: no new insert
+        }
+        assert_eq!(t.active_sessions(), 10);
+        assert!(t.clear(3));
+        assert!(!t.clear(3)); // double clear must not double-decrement
+        assert_eq!(t.active_sessions(), 9);
+        assert_eq!(t.evict_idle(1000), 9);
+        assert_eq!(t.active_sessions(), 0);
+        // An evicted user re-inserts and counts again.
+        t.track(3, "back", 1001);
+        assert_eq!(t.active_sessions(), 1);
     }
 
     #[test]

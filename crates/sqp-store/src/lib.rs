@@ -43,6 +43,15 @@
 //!   "serve the last good snapshot" under persistent failure, reporting
 //!   typed [`RetrainerHealth`].
 //!
+//! And for the replicated tier ([`RouterEngine`](sqp_router::RouterEngine)):
+//!
+//! * [`rollout`] — **fan-out and rolling publication**:
+//!   [`RouterPublish::publish_from_path`] loads a snapshot file once and
+//!   swaps it into every replica; [`RouterPublish::rolling_publish`]
+//!   upgrades replicas one at a time (each re-validating the bytes
+//!   itself), quarantining a failed replica on its last-good snapshot
+//!   while the roll continues or aborts by [`RollPolicy`].
+//!
 //! Both layers run on the [`sqp_common::fsio::FsIo`] /
 //! [`sqp_common::clock::Clock`] / [`sqp_common::hazard::Hazard`] seams, so
 //! the `sqp-faults` chaos harness can drive them through deterministic
@@ -96,6 +105,7 @@ pub mod error;
 pub mod format;
 pub mod quarantine;
 pub mod retrain;
+pub mod rollout;
 pub mod supervise;
 pub mod warm;
 
@@ -113,6 +123,7 @@ pub use retrain::{
     rotate_snapshots, rotate_snapshots_with, snapshot_file_name, PublishOutcome, RetrainConfig,
     RetrainReport, Retrainer, RotationReport,
 };
+pub use rollout::{RollPolicy, RollReport, RollStep, RouterPublish};
 pub use supervise::{BreakerState, RetrainerHealth, StepOutcome, SuperviseConfig, Supervisor};
 pub use warm::{Published, WarmStart};
 

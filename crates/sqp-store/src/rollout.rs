@@ -1,0 +1,402 @@
+//! Publishing snapshot files into a replicated tier: fan-out and rolling
+//! upgrades with per-replica quarantine.
+//!
+//! [`WarmStart`](crate::warm::WarmStart) covers one engine; this module is
+//! its N-replica counterpart for a [`RouterEngine`]. Two publication
+//! shapes:
+//!
+//! * [`RouterPublish::publish_from_path`] — **fan-out**: load and validate
+//!   the file *once*, then swap the same `Arc` into every replica. One
+//!   model allocation serves the whole tier; an unreadable file publishes
+//!   nowhere (all replicas keep serving, converged on the old
+//!   generation).
+//! * [`RouterPublish::rolling_publish`] — **rolling upgrade**: each
+//!   replica performs its *own* read-and-validate of the file, in replica
+//!   order, publishing as it goes. This is the deployment shape for
+//!   validating new bytes incrementally: replica 0 is the canary, and mid-
+//!   roll the tier deliberately serves two generations (each user still
+//!   sees exactly one, because routing is sticky and each replica swaps
+//!   atomically). A replica whose load or validation fails is
+//!   **quarantined** — pinned serving its last-good snapshot, failure
+//!   recorded in [`RouterStats`](sqp_router::RouterStats) — and the roll
+//!   continues or aborts by [`RollPolicy`].
+//!
+//! Everything runs through the [`FsIo`] seam, so the chaos harness can
+//! fail exactly one replica's read mid-roll and replay it bit-identically
+//! (the `router-soak` tests in `sqp-bench` do exactly that).
+
+use crate::error::SnapshotError;
+use crate::format::{load_snapshot_with, SnapshotMeta};
+use crate::warm::Published;
+use sqp_common::fsio::{FsIo, RealFs};
+use sqp_router::RouterEngine;
+use std::path::Path;
+use std::sync::Arc;
+
+/// What a rolling upgrade does when one replica's publish fails.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RollPolicy {
+    /// Quarantine the failed replica and keep upgrading the rest. The tier
+    /// ends skewed (failed replicas on last-good) but maximally fresh —
+    /// right when the new generation is known-good and a failure is
+    /// probably replica-local (an io blip on one read).
+    ContinueOnFailure,
+    /// Quarantine the failed replica and skip all later replicas, leaving
+    /// them on the old generation. Right when a failure casts doubt on the
+    /// new bytes themselves: the canary replica absorbs the damage and the
+    /// bulk of the tier never touches the suspect file.
+    AbortOnFailure,
+}
+
+/// One replica's step in a rolling upgrade, as seen by the `on_step`
+/// observer callback.
+#[derive(Debug)]
+pub struct RollStep {
+    /// The replica that was just attempted.
+    pub replica: usize,
+    /// Its new engine generation on success, or why it was quarantined.
+    pub outcome: Result<u64, String>,
+}
+
+/// Outcome of a [`RouterPublish::rolling_publish`] run.
+#[derive(Debug, Default)]
+pub struct RollReport {
+    /// Metadata of the target snapshot (from the first successful load);
+    /// `None` when no replica managed to read the file.
+    pub meta: Option<SnapshotMeta>,
+    /// Replicas now serving the new generation, in upgrade order.
+    pub upgraded: Vec<usize>,
+    /// Replicas that failed and were quarantined, with their errors.
+    pub failed: Vec<(usize, String)>,
+    /// Replicas never attempted because the roll aborted first.
+    pub skipped: Vec<usize>,
+    /// True when [`RollPolicy::AbortOnFailure`] stopped the roll early.
+    pub aborted: bool,
+}
+
+impl RollReport {
+    /// True when every replica now serves the target generation.
+    pub fn complete(&self) -> bool {
+        self.failed.is_empty() && self.skipped.is_empty()
+    }
+}
+
+/// Snapshot-file publication into a replicated serving tier.
+///
+/// # Examples
+///
+/// ```
+/// use sqp_logsim::RawLogRecord;
+/// use sqp_router::{RouterConfig, RouterEngine};
+/// use sqp_serve::{ModelSnapshot, ModelSpec, TrainingConfig};
+/// use sqp_store::{save_snapshot, RollPolicy, RouterPublish, SnapshotMeta};
+/// use std::sync::Arc;
+///
+/// let rec = |machine, ts, q: &str| RawLogRecord {
+///     machine_id: machine, timestamp: ts, query: q.into(), clicks: vec![],
+/// };
+/// let corpus = |tag: &str| -> ModelSnapshot {
+///     let records: Vec<_> = (0..5)
+///         .flat_map(|u| [rec(u, 100, "tea"), rec(u, 140, &format!("{tag} kettle"))])
+///         .collect();
+///     let cfg = TrainingConfig { model: ModelSpec::Adjacency, ..TrainingConfig::default() };
+///     ModelSnapshot::from_raw_logs(&records, &cfg)
+/// };
+///
+/// let router = RouterEngine::new(Arc::new(corpus("old")), RouterConfig::default());
+/// let fresh = corpus("new");
+/// let path = std::env::temp_dir().join(format!("sqp-doc-roll-{}.sqps", std::process::id()));
+/// save_snapshot(&path, &fresh, &SnapshotMeta::describe(&fresh, 1, 10)).unwrap();
+///
+/// let report = router.rolling_publish(&path, RollPolicy::ContinueOnFailure);
+/// assert!(report.complete());
+/// assert!(router.stats().is_converged());
+/// assert_eq!(router.suggest_context(&["tea"], 1)[0].query, "new kettle");
+/// # std::fs::remove_file(&path).unwrap();
+/// ```
+pub trait RouterPublish {
+    /// Load the snapshot file once and fan it out to every replica. All-or-
+    /// nothing: a load failure publishes to no replica and changes no
+    /// quarantine state. On success every replica serves the same `Arc`
+    /// (memory cost of one model, not N) and any quarantine is lifted.
+    /// Returns the tier's minimum engine generation and the file's
+    /// metadata.
+    fn publish_from_path(&self, path: impl AsRef<Path>) -> Result<Published, SnapshotError>;
+
+    /// Upgrade replicas one at a time, each re-reading and re-validating
+    /// the file through the default filesystem. See
+    /// [`rolling_publish_with`](Self::rolling_publish_with).
+    fn rolling_publish(&self, path: impl AsRef<Path>, policy: RollPolicy) -> RollReport;
+
+    /// Upgrade replicas one at a time through an explicit [`FsIo`] (the
+    /// chaos seam), invoking `on_step` after every replica attempt — the
+    /// hook tests use to hold the tier mid-roll, and operators use to
+    /// pace a canary bake.
+    ///
+    /// Per replica, in index order: read + validate the file (container
+    /// checksum and section structure), check its metadata matches the
+    /// first successful load (a file swapped mid-roll must not split the
+    /// tier across *three* generations), and atomically publish. Failures
+    /// quarantine that replica — it keeps serving its last-good snapshot —
+    /// and the roll continues or aborts per `policy`.
+    fn rolling_publish_with(
+        &self,
+        io: &dyn FsIo,
+        path: impl AsRef<Path>,
+        policy: RollPolicy,
+        on_step: &mut dyn FnMut(&RollStep),
+    ) -> RollReport;
+}
+
+impl RouterPublish for RouterEngine {
+    fn publish_from_path(&self, path: impl AsRef<Path>) -> Result<Published, SnapshotError> {
+        let (snapshot, meta) = load_snapshot_with(&RealFs, path.as_ref())?;
+        let engine_generation = self.publish(Arc::new(snapshot));
+        Ok(Published {
+            engine_generation,
+            meta,
+        })
+    }
+
+    fn rolling_publish(&self, path: impl AsRef<Path>, policy: RollPolicy) -> RollReport {
+        self.rolling_publish_with(&RealFs, path, policy, &mut |_| {})
+    }
+
+    fn rolling_publish_with(
+        &self,
+        io: &dyn FsIo,
+        path: impl AsRef<Path>,
+        policy: RollPolicy,
+        on_step: &mut dyn FnMut(&RollStep),
+    ) -> RollReport {
+        let path = path.as_ref();
+        let mut report = RollReport::default();
+        for replica in 0..self.replica_count() {
+            if report.aborted {
+                report.skipped.push(replica);
+                continue;
+            }
+            let attempt = load_snapshot_with(io, path)
+                .map_err(|error| error.to_string())
+                .and_then(|(snapshot, meta)| match &report.meta {
+                    // The file changed identity mid-roll: publishing it
+                    // would split the tier across three generations, so
+                    // treat it as this replica's failure.
+                    Some(first) if *first != meta => Err(format!(
+                        "snapshot changed mid-roll: first replica loaded generation {}, \
+                         this replica loaded generation {}",
+                        first.generation, meta.generation
+                    )),
+                    _ => {
+                        report.meta.get_or_insert(meta);
+                        Ok(self.publish_to(replica, Arc::new(snapshot)))
+                    }
+                });
+            let outcome = match attempt {
+                Ok(generation) => {
+                    report.upgraded.push(replica);
+                    Ok(generation)
+                }
+                Err(error) => {
+                    self.mark_quarantined(replica, error.clone());
+                    report.failed.push((replica, error.clone()));
+                    if policy == RollPolicy::AbortOnFailure {
+                        report.aborted = true;
+                    }
+                    Err(error)
+                }
+            };
+            on_step(&RollStep { replica, outcome });
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::save_snapshot;
+    use crate::retrain::snapshot_file_name;
+    use sqp_logsim::RawLogRecord;
+    use sqp_router::RouterConfig;
+    use sqp_serve::{ModelSnapshot, ModelSpec, TrainingConfig};
+    use std::path::PathBuf;
+
+    fn rec(machine: u64, ts: u64, q: &str) -> RawLogRecord {
+        RawLogRecord {
+            machine_id: machine,
+            timestamp: ts,
+            query: q.into(),
+            clicks: vec![],
+        }
+    }
+
+    fn trained(prefix: &str) -> ModelSnapshot {
+        let records: Vec<_> = (0..6)
+            .flat_map(|u| {
+                [
+                    rec(u, 100, "start"),
+                    rec(u, 150, &format!("{prefix}::next")),
+                ]
+            })
+            .collect();
+        ModelSnapshot::from_raw_logs(
+            &records,
+            &TrainingConfig {
+                model: ModelSpec::Adjacency,
+                ..TrainingConfig::default()
+            },
+        )
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sqp-rollout-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn save(dir: &Path, generation: u64, prefix: &str) -> PathBuf {
+        let snapshot = trained(prefix);
+        let path = dir.join(snapshot_file_name(generation));
+        save_snapshot(
+            &path,
+            &snapshot,
+            &SnapshotMeta::describe(&snapshot, generation, 12),
+        )
+        .unwrap();
+        path
+    }
+
+    fn router() -> RouterEngine {
+        RouterEngine::new(
+            Arc::new(trained("old")),
+            RouterConfig {
+                replicas: 4,
+                ..RouterConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn fan_out_publishes_every_replica_from_one_load() {
+        let dir = scratch("fanout");
+        let path = save(&dir, 1, "new");
+        let r = router();
+        let published = r.publish_from_path(&path).unwrap();
+        assert_eq!(published.engine_generation, 1);
+        assert_eq!(published.meta.generation, 1);
+        let stats = r.stats();
+        assert!(stats.is_converged());
+        assert_eq!(stats.max_generation(), 1);
+        // One Arc serves all replicas.
+        for index in 1..r.replica_count() {
+            assert!(Arc::ptr_eq(
+                &r.replica(0).snapshot(),
+                &r.replica(index).snapshot()
+            ));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fan_out_failure_touches_nothing() {
+        let dir = scratch("fanout-bad");
+        let r = router();
+        assert!(r.publish_from_path(dir.join("missing.sqps")).is_err());
+        let stats = r.stats();
+        assert!(stats.is_converged());
+        assert_eq!(stats.max_generation(), 0);
+        assert_eq!(stats.quarantined(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rolling_publish_upgrades_in_order_and_completes() {
+        let dir = scratch("roll");
+        let path = save(&dir, 1, "new");
+        let r = router();
+        let mut seen = Vec::new();
+        let report =
+            r.rolling_publish_with(&RealFs, &path, RollPolicy::ContinueOnFailure, &mut |step| {
+                // Observe genuine mid-roll skew: after replica 0's step,
+                // replicas 1.. still serve the old generation.
+                if step.replica == 0 {
+                    let stats = r.stats();
+                    assert_eq!(stats.generation_skew(), 1);
+                }
+                seen.push(step.replica);
+            });
+        assert!(report.complete());
+        assert_eq!(report.upgraded, vec![0, 1, 2, 3]);
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert_eq!(report.meta.unwrap().generation, 1);
+        assert!(r.stats().is_converged());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_quarantines_everyone_or_aborts() {
+        let dir = scratch("roll-missing");
+        let r = router();
+        let report = r.rolling_publish(dir.join("missing.sqps"), RollPolicy::ContinueOnFailure);
+        assert_eq!(report.failed.len(), 4);
+        assert!(report.meta.is_none());
+        assert_eq!(r.stats().quarantined(), 4);
+
+        let r2 = router();
+        let report = r2.rolling_publish(dir.join("missing.sqps"), RollPolicy::AbortOnFailure);
+        assert!(report.aborted);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.skipped, vec![1, 2, 3]);
+        assert_eq!(r2.stats().quarantined(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_swapped_mid_roll_fails_later_replicas() {
+        let dir = scratch("roll-swap");
+        let path = save(&dir, 1, "new");
+        let r = router();
+        let mut steps = 0;
+        let report =
+            r.rolling_publish_with(&RealFs, &path, RollPolicy::ContinueOnFailure, &mut |step| {
+                steps += 1;
+                if step.replica == 1 {
+                    // Overwrite the file with a different generation while
+                    // the roll is between replicas 1 and 2.
+                    let snapshot = trained("sneaky");
+                    save_snapshot(&path, &snapshot, &SnapshotMeta::describe(&snapshot, 9, 12))
+                        .unwrap();
+                }
+            });
+        assert_eq!(steps, 4);
+        assert_eq!(report.upgraded, vec![0, 1]);
+        assert_eq!(report.failed.len(), 2);
+        assert!(report.failed[0].1.contains("changed mid-roll"));
+        // The tier serves generations {0 (quarantined last-good), 1} — the
+        // sneaky generation 9 never reached any replica.
+        let stats = r.stats();
+        assert_eq!(stats.max_generation(), 1);
+        assert_eq!(stats.quarantined(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantined_replica_serves_last_good_until_good_publish() {
+        let dir = scratch("roll-recover");
+        let r = router();
+        // Every replica fails: bogus file.
+        std::fs::write(dir.join("bogus.sqps"), b"not a snapshot").unwrap();
+        let report = r.rolling_publish(dir.join("bogus.sqps"), RollPolicy::ContinueOnFailure);
+        assert_eq!(report.failed.len(), 4);
+        // Still serving the old model.
+        assert_eq!(r.suggest_context(&["start"], 1)[0].query, "old::next");
+        // A later good fan-out lifts all quarantines.
+        let path = save(&dir, 1, "new");
+        r.publish_from_path(&path).unwrap();
+        assert_eq!(r.stats().quarantined(), 0);
+        assert_eq!(r.suggest_context(&["start"], 1)[0].query, "new::next");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

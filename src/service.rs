@@ -9,11 +9,15 @@
 //! For concurrent traffic (per-user session tracking, batched suggestion,
 //! zero-downtime retrains) promote the service into a
 //! [`ServeEngine`] with
-//! [`RecommenderService::into_engine`].
+//! [`RecommenderService::into_engine`] — or, when one engine's tracker and
+//! stripes are the bottleneck, into a replicated
+//! [`RouterEngine`] tier with
+//! [`RecommenderService::into_router`].
 
 use std::sync::Arc;
 
 use sqp_logsim::RawLogRecord;
+use sqp_router::{RouterConfig, RouterEngine};
 use sqp_serve::{EngineConfig, ModelSnapshot, ServeEngine};
 
 pub use sqp_serve::{ModelSpec as ServiceModel, Suggestion, TrainingConfig as ServiceConfig};
@@ -153,6 +157,15 @@ impl RecommenderService {
     /// batched suggestion, and hot-swappable retrains.
     pub fn into_engine(self, cfg: EngineConfig) -> ServeEngine {
         ServeEngine::new(self.snapshot, cfg)
+    }
+
+    /// Promote into a replicated serving tier: N independent engines
+    /// behind consistent-hash user routing, with fan-out/rolling snapshot
+    /// publication (see `sqp_store::rollout`) and per-replica health. The
+    /// serve surface matches [`into_engine`](Self::into_engine)'s, so
+    /// callers upgrade transparently when one engine stops being enough.
+    pub fn into_router(self, cfg: RouterConfig) -> RouterEngine {
+        RouterEngine::new(self.snapshot, cfg)
     }
 }
 
@@ -306,5 +319,20 @@ mod tests {
         let engine = svc.into_engine(sqp_serve::EngineConfig::default());
         engine.track(1, "kidney stones", 100);
         assert_eq!(engine.suggest(1, 2, 101), expected);
+    }
+
+    #[test]
+    fn into_router_serves_the_same_model_on_every_replica() {
+        let svc = service(ServiceModel::Adjacency);
+        let expected = svc.suggest(&["kidney stones"], 2);
+        let router = svc.into_router(RouterConfig::default());
+        for user in [1u64, 2, 3, 4, 5, 6, 7, 8] {
+            assert_eq!(
+                router.track_and_suggest(user, "kidney stones", 2, 100),
+                expected,
+                "user {user} (replica {})",
+                router.replica_for(user)
+            );
+        }
     }
 }
