@@ -21,7 +21,7 @@
 //!
 //! [`serve_loop`]: crate::serve_loop
 
-use crate::serve_loop::{build_parts, run_on, ServeLoopConfig, ServeLoopReport, ServeSurface};
+use crate::serve_loop::{build_parts, run_on, ServeLoopConfig, ServeLoopReport};
 use sqp_faults::{Chaos, FaultPlan};
 use sqp_logsim::RawLogRecord;
 use sqp_router::{RouterConfig, RouterEngine};
@@ -31,31 +31,6 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-
-impl ServeSurface for RouterEngine {
-    fn track_and_suggest(&self, user: u64, query: &str, k: usize, now: u64) -> Vec<Suggestion> {
-        RouterEngine::track_and_suggest(self, user, query, k, now)
-    }
-    fn suggest_batch(&self, requests: &[SuggestRequest], now: u64) -> Vec<Vec<Suggestion>> {
-        RouterEngine::suggest_batch(self, requests, now)
-    }
-    fn evict_idle(&self, now: u64) -> usize {
-        RouterEngine::evict_idle(self, now)
-    }
-    fn publish(&self, snapshot: Arc<ModelSnapshot>) {
-        RouterEngine::publish(self, snapshot);
-    }
-    fn generation(&self) -> u64 {
-        // The tier's fully-propagated generation is its trailing edge.
-        self.stats().min_generation()
-    }
-    fn suggests_total(&self) -> u64 {
-        self.stats().replicas.iter().map(|r| r.stats.suggests).sum()
-    }
-    fn active_sessions(&self) -> usize {
-        RouterEngine::active_sessions(self)
-    }
-}
 
 /// Run the [`serve_loop`](crate::serve_loop) stress workload against an
 /// N-replica router tier. Identical `cfg` produces identical traffic to

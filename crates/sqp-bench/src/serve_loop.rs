@@ -7,11 +7,12 @@
 //! recorded; the report carries throughput plus the p50/p99/max tail, which
 //! is exactly what a publication stall would show up in.
 //!
-//! The workload is generic over [`ServeSurface`] — implemented by the
-//! single [`ServeEngine`] and by the replicated
-//! [`RouterEngine`](sqp_router::RouterEngine) tier (see
+//! The workload is generic over [`ServeSurface`] (defined in `sqp-serve`,
+//! re-exported here) — implemented by the single [`ServeEngine`] and by
+//! the replicated [`RouterEngine`](sqp_router::RouterEngine) tier (see
 //! [`run_on`] / `router_loop`) — so "router overhead vs single engine" is
-//! measured on byte-identical traffic.
+//! measured on byte-identical traffic, and the same seeded workload can be
+//! replayed over real sockets by `net_loop`.
 //!
 //! The harness is deterministic in *workload* (seeded per-thread PRNGs over
 //! a fixed simulated corpus) but not in interleaving — it is a stress
@@ -24,57 +25,17 @@
 use sqp_common::rng::{Rng, StdRng};
 use sqp_core::VmmConfig;
 use sqp_serve::{
-    EngineConfig, ModelSnapshot, ModelSpec, ServeEngine, SuggestRequest, Suggestion, TrainingConfig,
+    EngineConfig, ModelSnapshot, ModelSpec, ServeEngine, SuggestRequest, TrainingConfig,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// The operations the stress workload needs from a serving tier — the
-/// common surface of [`ServeEngine`] and
-/// [`RouterEngine`](sqp_router::RouterEngine), so the same seeded traffic
-/// measures both.
-pub trait ServeSurface: Sync {
-    /// Record `query` for `user` and suggest against the updated context.
-    fn track_and_suggest(&self, user: u64, query: &str, k: usize, now: u64) -> Vec<Suggestion>;
-    /// Batched suggestion in request order.
-    fn suggest_batch(&self, requests: &[SuggestRequest], now: u64) -> Vec<Vec<Suggestion>>;
-    /// Drop idle sessions; returns how many.
-    fn evict_idle(&self, now: u64) -> usize;
-    /// Publish a new snapshot to the whole surface (every replica, for a
-    /// tier).
-    fn publish(&self, snapshot: Arc<ModelSnapshot>);
-    /// The surface's fully-propagated generation (minimum across replicas).
-    fn generation(&self) -> u64;
-    /// Total individual suggestions computed.
-    fn suggests_total(&self) -> u64;
-    /// Sessions currently resident.
-    fn active_sessions(&self) -> usize;
-}
-
-impl ServeSurface for ServeEngine {
-    fn track_and_suggest(&self, user: u64, query: &str, k: usize, now: u64) -> Vec<Suggestion> {
-        ServeEngine::track_and_suggest(self, user, query, k, now)
-    }
-    fn suggest_batch(&self, requests: &[SuggestRequest], now: u64) -> Vec<Vec<Suggestion>> {
-        ServeEngine::suggest_batch(self, requests, now)
-    }
-    fn evict_idle(&self, now: u64) -> usize {
-        ServeEngine::evict_idle(self, now)
-    }
-    fn publish(&self, snapshot: Arc<ModelSnapshot>) {
-        ServeEngine::publish(self, snapshot);
-    }
-    fn generation(&self) -> u64 {
-        ServeEngine::generation(self)
-    }
-    fn suggests_total(&self) -> u64 {
-        self.stats().suggests
-    }
-    fn active_sessions(&self) -> usize {
-        ServeEngine::active_sessions(self)
-    }
-}
+// The serving-surface abstraction the workload is generic over was born
+// here; it now lives in `sqp-serve` (with the admission-controlled and
+// stats accessors the network front-end needs) and is re-exported so
+// existing `serve_loop::ServeSurface` imports keep working.
+pub use sqp_serve::ServeSurface;
 
 /// Workload shape for one `serve_loop` run.
 #[derive(Clone, Copy, Debug)]

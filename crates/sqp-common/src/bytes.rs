@@ -6,6 +6,12 @@
 //! model codecs use are provided. Readers never panic on short input — every
 //! accessor is paired with [`Bytes::remaining`] checks at the call sites, and
 //! misuse panics loudly rather than reading garbage.
+//!
+//! The network wire protocol (`sqp-net`, see `WIRE.md`) additionally codes
+//! small integers as LEB128 varints over plain `Vec<u8>` / `&[u8]` buffers —
+//! plain slices rather than [`Bytes`], because a per-connection codec reuses
+//! one buffer for its whole lifetime and must never reallocate on the steady
+//! state path. [`put_uvarint`] / [`get_uvarint`] are those helpers.
 
 use std::sync::Arc;
 
@@ -71,6 +77,12 @@ impl Bytes {
         let s = &self.data[self.start..self.start + n];
         self.start += n;
         s
+    }
+
+    /// Read a little-endian `u16`.
+    #[inline]
+    pub fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().unwrap())
     }
 
     /// Read a little-endian `u32`.
@@ -168,6 +180,12 @@ impl BytesMut {
         self.data.push(v);
     }
 
+    /// Append a little-endian `u16`.
+    #[inline]
+    pub fn put_u16_le(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Append a little-endian `u32`.
     #[inline]
     pub fn put_u32_le(&mut self, v: u32) {
@@ -207,6 +225,60 @@ impl BytesMut {
     /// Finish writing, taking the backing vector without copying.
     pub fn into_vec(self) -> Vec<u8> {
         self.data
+    }
+}
+
+/// Longest legal LEB128 encoding of a `u64`: ⌈64 / 7⌉ bytes.
+pub const MAX_UVARINT_LEN: usize = 10;
+
+/// Append `v` as an unsigned LEB128 varint: 7 value bits per byte, low
+/// group first, high bit set on every byte except the last. Values below
+/// 128 cost one byte, which is what makes varints the right coding for the
+/// wire protocol's counts and string lengths (see `WIRE.md`).
+#[inline]
+pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Decode an unsigned LEB128 varint from `bytes` starting at `*at`,
+/// advancing `*at` past it. Returns `None` on truncated input or on an
+/// encoding longer than [`MAX_UVARINT_LEN`] / overflowing 64 bits —
+/// malformed network input must surface as a typed decode error, never a
+/// panic or a silently wrapped value.
+#[inline]
+pub fn get_uvarint(bytes: &[u8], at: &mut usize) -> Option<u64> {
+    let mut value: u64 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let &byte = bytes.get(*at)?;
+        *at += 1;
+        let group = u64::from(byte & 0x7f);
+        // The 10th byte may only carry the single remaining bit (64 = 9*7 + 1).
+        if shift == 63 && group > 1 {
+            return None;
+        }
+        value |= group << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Encoded length of `v` as an unsigned LEB128 varint, in bytes.
+#[inline]
+pub fn uvarint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
     }
 }
 
@@ -260,5 +332,70 @@ mod tests {
     fn overread_panics() {
         let mut b = Bytes::from(vec![1, 2]);
         let _ = b.get_u32_le();
+    }
+
+    #[test]
+    fn u16_roundtrip() {
+        let mut w = BytesMut::default();
+        w.put_u16_le(0xBEEF);
+        let mut r = w.freeze();
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn uvarint_known_encodings() {
+        // The WIRE.md reference table: these exact bytes are normative.
+        for (value, bytes) in [
+            (0u64, &[0x00][..]),
+            (1, &[0x01]),
+            (127, &[0x7f]),
+            (128, &[0x80, 0x01]),
+            (300, &[0xac, 0x02]),
+            (16_384, &[0x80, 0x80, 0x01]),
+            (
+                u64::MAX,
+                &[0xff; 9].iter().copied().chain([0x01]).collect::<Vec<_>>()[..],
+            ),
+        ] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, value);
+            assert_eq!(buf, bytes, "encoding of {value}");
+            assert_eq!(uvarint_len(value), bytes.len(), "length of {value}");
+            let mut at = 0;
+            assert_eq!(get_uvarint(&buf, &mut at), Some(value));
+            assert_eq!(at, buf.len());
+        }
+    }
+
+    #[test]
+    fn uvarint_roundtrips_across_magnitudes() {
+        let mut buf = Vec::new();
+        let values: Vec<u64> = (0..64).map(|s| (1u64 << s).wrapping_sub(1)).collect();
+        for &v in &values {
+            put_uvarint(&mut buf, v);
+        }
+        let mut at = 0;
+        for &v in &values {
+            assert_eq!(get_uvarint(&buf, &mut at), Some(v));
+        }
+        assert_eq!(at, buf.len());
+    }
+
+    #[test]
+    fn uvarint_rejects_truncation_and_overflow() {
+        // Truncated: continuation bit set, then nothing.
+        let mut at = 0;
+        assert_eq!(get_uvarint(&[0x80], &mut at), None);
+        // Empty input.
+        let mut at = 0;
+        assert_eq!(get_uvarint(&[], &mut at), None);
+        // 11 bytes of continuation: longer than any legal u64 encoding.
+        let mut at = 0;
+        assert_eq!(get_uvarint(&[0x80; 11], &mut at), None);
+        // 10th byte carries more than the one remaining bit (2^64 exactly).
+        let overflow = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        let mut at = 0;
+        assert_eq!(get_uvarint(&overflow, &mut at), None);
     }
 }

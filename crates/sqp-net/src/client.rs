@@ -1,0 +1,315 @@
+//! A blocking wire client with per-connection buffer reuse.
+//!
+//! [`NetClient`] owns one keep-alive TCP connection and two buffers (one
+//! outbound, one inbound) that every request reuses, so a serve loop
+//! driving millions of requests allocates only for the answers it keeps.
+//! One client is one connection and is deliberately `!Sync` usage-wise:
+//! the protocol answers in request order, so concurrent callers would
+//! read each other's replies. Open one client per thread instead — that
+//! is also what gives the server's per-connection fairness something to
+//! be fair between.
+
+use crate::frame::{read_frame, write_frame, FrameRead};
+use crate::wire::{self, BatchEntry, Reply, RollSummary, WireError, WireStats};
+use sqp_serve::Suggestion;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side failure of one request.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure (includes timeouts and mid-frame disconnects).
+    Io(io::Error),
+    /// The server closed the connection cleanly where a reply was due.
+    Disconnected,
+    /// The reply frame did not decode.
+    Wire(WireError),
+    /// The server answered with a typed `R_ERROR`.
+    Remote {
+        /// A [`wire::code`] constant.
+        code: u8,
+        /// The server's message.
+        message: String,
+    },
+    /// The reply decoded but had the wrong opcode for the request.
+    UnexpectedReply {
+        /// The reply opcode that arrived.
+        opcode: u8,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport error: {e}"),
+            NetError::Disconnected => write!(f, "server disconnected"),
+            NetError::Wire(e) => write!(f, "undecodable reply: {e}"),
+            NetError::Remote { code, message } => {
+                write!(f, "server error (code {code}): {message}")
+            }
+            NetError::UnexpectedReply { opcode } => {
+                write!(f, "unexpected reply opcode 0x{opcode:02X}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// The serve-path answer shape: either ranked suggestions or a typed
+/// shed. Separating the shed from `NetError` keeps overload a *value* a
+/// load generator can count, not a failure it has to untangle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeAnswer {
+    /// Ranked suggestions (possibly empty).
+    Suggestions(Vec<Suggestion>),
+    /// The request was shed — by the server queue (`limit == 0`) or the
+    /// engine's admission budget (`limit` = the exhausted budget).
+    Overloaded {
+        /// The exhausted budget, or 0 for a server-queue shed.
+        limit: u64,
+    },
+}
+
+/// Batched answer: per-entry suggestion lists or one whole-batch shed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchAnswer {
+    /// One list per batch entry, in request order.
+    Lists(Vec<Vec<Suggestion>>),
+    /// The whole batch was shed (batches are all-or-nothing).
+    Overloaded {
+        /// The exhausted budget, or 0 for a server-queue shed.
+        limit: u64,
+    },
+}
+
+/// Acknowledgement of a `TRACK`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackAck {
+    /// The track started a fresh session (idle cutoff or first contact).
+    pub new_session: bool,
+    /// Queries now in the user's context window.
+    pub context_len: usize,
+}
+
+/// One blocking keep-alive connection to a [`NetServer`](crate::NetServer)
+/// port (serve or admin).
+pub struct NetClient {
+    stream: TcpStream,
+    wbuf: Vec<u8>,
+    rbuf: Vec<u8>,
+    max_frame_len: usize,
+}
+
+impl NetClient {
+    /// Connect with no I/O timeouts (reads block until the server
+    /// replies or disconnects).
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connect and bound every read/write by `timeout` — what a test
+    /// harness uses so a hung server fails fast instead of wedging CI.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Self::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        Ok(NetClient {
+            stream,
+            wbuf: Vec::new(),
+            rbuf: Vec::new(),
+            max_frame_len: wire::DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Shut down the write half, telling the server no more requests are
+    /// coming; queued replies still arrive until it closes.
+    pub fn finish_sending(&self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
+    fn send(&mut self) -> Result<(), NetError> {
+        write_frame(&mut self.stream, &self.wbuf, self.max_frame_len)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Reply<'_>, NetError> {
+        match read_frame(&mut self.stream, &mut self.rbuf, self.max_frame_len)? {
+            FrameRead::Frame => {}
+            FrameRead::CleanEof => return Err(NetError::Disconnected),
+            FrameRead::Reject(err) => return Err(NetError::Wire(err)),
+        }
+        wire::decode_reply(&self.rbuf).map_err(NetError::Wire)
+    }
+
+    /// Track `query` for `user` at `now`.
+    pub fn track(&mut self, user: u64, query: &str, now: u64) -> Result<TrackAck, NetError> {
+        self.wbuf.clear();
+        wire::encode_track(&mut self.wbuf, user, query, now);
+        self.send()?;
+        match self.recv()? {
+            Reply::Ack {
+                new_session,
+                context_len,
+            } => Ok(TrackAck {
+                new_session,
+                context_len,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Suggest `k` continuations against `user`'s tracked session.
+    pub fn suggest(&mut self, user: u64, k: usize, now: u64) -> Result<ServeAnswer, NetError> {
+        self.wbuf.clear();
+        wire::encode_suggest(&mut self.wbuf, user, k, now);
+        self.send()?;
+        self.recv_serve_answer()
+    }
+
+    /// Track `query`, then suggest `k` continuations, in one round trip.
+    pub fn track_and_suggest(
+        &mut self,
+        user: u64,
+        query: &str,
+        k: usize,
+        now: u64,
+    ) -> Result<ServeAnswer, NetError> {
+        self.wbuf.clear();
+        wire::encode_track_suggest(&mut self.wbuf, user, query, k, now);
+        self.send()?;
+        self.recv_serve_answer()
+    }
+
+    fn recv_serve_answer(&mut self) -> Result<ServeAnswer, NetError> {
+        match self.recv()? {
+            Reply::Suggestions(list) => Ok(ServeAnswer::Suggestions(owned_suggestions(&list))),
+            Reply::Overloaded { limit } => Ok(ServeAnswer::Overloaded { limit }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Batched suggestion at one shared timestamp.
+    pub fn suggest_batch(
+        &mut self,
+        entries: &[BatchEntry],
+        now: u64,
+    ) -> Result<BatchAnswer, NetError> {
+        self.wbuf.clear();
+        wire::encode_suggest_batch(&mut self.wbuf, entries, now);
+        self.send()?;
+        match self.recv()? {
+            Reply::Batch(lists) => Ok(BatchAnswer::Lists(
+                lists.iter().map(|l| owned_suggestions(&l)).collect(),
+            )),
+            Reply::Overloaded { limit } => Ok(BatchAnswer::Overloaded { limit }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Read the surface's counters and generation.
+    pub fn stats(&mut self) -> Result<WireStats, NetError> {
+        self.wbuf.clear();
+        wire::encode_stats(&mut self.wbuf);
+        self.send()?;
+        match self.recv()? {
+            Reply::Stats(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        self.wbuf.clear();
+        wire::encode_ping(&mut self.wbuf);
+        self.send()?;
+        match self.recv()? {
+            Reply::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Evict sessions idle as of `now`; returns how many.
+    pub fn evict_idle(&mut self, now: u64) -> Result<u64, NetError> {
+        self.wbuf.clear();
+        wire::encode_evict(&mut self.wbuf, now);
+        self.send()?;
+        match self.recv()? {
+            Reply::Evicted { count } => Ok(count),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Admin: publish the server-local snapshot file at `path` to the
+    /// whole surface; returns the surface generation afterwards. Only
+    /// answered on the admin port.
+    pub fn publish(&mut self, path: &str) -> Result<u64, NetError> {
+        self.wbuf.clear();
+        wire::encode_publish(&mut self.wbuf, path);
+        self.send()?;
+        match self.recv()? {
+            Reply::Published { generation } => Ok(generation),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Admin: roll the server-local snapshot file at `path` across
+    /// replicas. Only answered on the admin port.
+    pub fn rolling_publish(
+        &mut self,
+        path: &str,
+        abort_on_failure: bool,
+    ) -> Result<RollSummary, NetError> {
+        self.wbuf.clear();
+        wire::encode_rolling_publish(&mut self.wbuf, path, abort_on_failure);
+        self.send()?;
+        match self.recv()? {
+            Reply::Rolled(summary) => Ok(summary),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn owned_suggestions(list: &wire::SuggestionList<'_>) -> Vec<Suggestion> {
+    list.iter()
+        .map(|(score, query)| Suggestion {
+            query: query.to_string(),
+            score,
+        })
+        .collect()
+}
+
+fn unexpected(reply: &Reply<'_>) -> NetError {
+    if let Reply::Error { code, message } = reply {
+        return NetError::Remote {
+            code: *code,
+            message: (*message).to_string(),
+        };
+    }
+    let opcode = match reply {
+        Reply::Ack { .. } => wire::op::R_ACK,
+        Reply::Suggestions(_) => wire::op::R_SUGGESTIONS,
+        Reply::Batch(_) => wire::op::R_BATCH,
+        Reply::Stats(_) => wire::op::R_STATS,
+        Reply::Overloaded { .. } => wire::op::R_OVERLOADED,
+        Reply::Error { .. } => wire::op::R_ERROR,
+        Reply::Published { .. } => wire::op::R_PUBLISHED,
+        Reply::Rolled(_) => wire::op::R_ROLLED,
+        Reply::Pong => wire::op::R_PONG,
+        Reply::Evicted { .. } => wire::op::R_EVICTED,
+    };
+    NetError::UnexpectedReply { opcode }
+}

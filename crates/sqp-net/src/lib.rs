@@ -1,0 +1,69 @@
+//! # sqp-net — hermetic TCP serving front-end
+//!
+//! Puts a real network edge on the serving stack: any
+//! [`ServeSurface`](sqp_serve::ServeSurface) — a single
+//! [`ServeEngine`](sqp_serve::ServeEngine) or a replicated
+//! [`RouterEngine`](sqp_router::RouterEngine) — becomes a TCP server
+//! speaking a compact length-prefixed binary protocol ([`wire`], spec in
+//! `WIRE.md`). Entirely `std` (no external crates), like the rest of the
+//! workspace.
+//!
+//! * [`NetServer`] — accept loops on a public serve port and a separate
+//!   admin port, per-connection reader threads that do framing only, and
+//!   a shared worker pool executing engine calls. Connections are
+//!   keep-alive; each has a bounded request queue that load-sheds with a
+//!   typed `R_OVERLOADED` reply instead of stalling intake.
+//! * [`NetClient`] — a blocking keep-alive client reusing its buffers
+//!   across requests.
+//! * [`AdminSurface`] — live snapshot publication (`PUBLISH`,
+//!   `ROLLING_PUBLISH`) driven through `sqp-store`'s [`WarmStart`]
+//!   (single engine) and [`RouterPublish`] (replica-by-replica roll).
+//!
+//! [`WarmStart`]: sqp_store::WarmStart
+//! [`RouterPublish`]: sqp_store::RouterPublish
+//!
+//! # Examples
+//!
+//! Serve an engine over TCP and talk to it:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sqp_logsim::RawLogRecord;
+//! use sqp_net::{NetClient, NetServer, ServeAnswer, ServerConfig};
+//! use sqp_serve::{EngineConfig, ModelSnapshot, ModelSpec, ServeEngine, TrainingConfig};
+//!
+//! let rec = |machine, ts, q: &str| RawLogRecord {
+//!     machine_id: machine, timestamp: ts, query: q.into(), clicks: vec![],
+//! };
+//! let mut logs = Vec::new();
+//! for u in 0..10 {
+//!     logs.push(rec(u, 100, "weather"));
+//!     logs.push(rec(u, 130, "weather tomorrow"));
+//! }
+//! let cfg = TrainingConfig { model: ModelSpec::Adjacency, ..TrainingConfig::default() };
+//! let engine = Arc::new(ServeEngine::new(
+//!     Arc::new(ModelSnapshot::from_raw_logs(&logs, &cfg)),
+//!     EngineConfig::default(),
+//! ));
+//!
+//! let server = NetServer::start(engine, ServerConfig::default()).unwrap();
+//! let mut client = NetClient::connect(server.serve_addr()).unwrap();
+//! match client.track_and_suggest(7, "weather", 1, 1_000).unwrap() {
+//!     ServeAnswer::Suggestions(s) => assert_eq!(s[0].query, "weather tomorrow"),
+//!     ServeAnswer::Overloaded { .. } => unreachable!("no admission limit set"),
+//! }
+//! server.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod admin;
+pub mod client;
+pub mod frame;
+pub mod server;
+pub mod wire;
+
+pub use admin::AdminSurface;
+pub use client::{BatchAnswer, NetClient, NetError, ServeAnswer, TrackAck};
+pub use server::{NetServer, NetServerStats, NetSurface, ServerConfig};
+pub use wire::{BatchEntry, Reply, Request, RollSummary, WireError, WireStats};

@@ -1,0 +1,162 @@
+//! Golden-bytes conformance against `WIRE.md` §6.
+//!
+//! Discipline (mirrors `sqp-store/tests/format_spec.rs`): the encoder
+//! builds a frame with the public API, and the test then checks every
+//! field **using only the offsets and encodings the spec document
+//! states** — no decoder involved — so the implementation, the spec, and
+//! the test form a triangle that cannot drift silently. The reverse
+//! direction (spec bytes → decoder) is checked too, with frames written
+//! out literally.
+
+use sqp_net::wire::{self, op};
+use sqp_net::{Reply, Request};
+use sqp_serve::Suggestion;
+
+fn u32_at(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+fn u64_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+/// Frame a body the way the transport does: u32 LE length prefix.
+fn framed(body: &[u8]) -> Vec<u8> {
+    let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(body);
+    frame
+}
+
+#[test]
+fn track_suggest_request_matches_the_spec_hex_dump() {
+    // WIRE.md §6: TRACK_SUGGEST user=7 now=1000 k=3 query="rust".
+    let mut body = Vec::new();
+    wire::encode_track_suggest(&mut body, 7, "rust", 3, 1_000);
+    let frame = framed(&body);
+
+    // The complete frame, byte for byte as printed in the spec.
+    let golden: &[u8] = &[
+        0x17, 0x00, 0x00, 0x00, // len = 23
+        0x03, // opcode TRACK_SUGGEST
+        0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // user = 7
+        0xE8, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // now = 1000
+        0x03, // k = 3
+        0x04, // query length = 4
+        0x72, 0x75, 0x73, 0x74, // "rust"
+    ];
+    assert_eq!(frame, golden, "encoder drifted from WIRE.md §6");
+
+    // Field-by-field at the documented offsets.
+    assert_eq!(frame.len(), 27);
+    assert_eq!(u32_at(&frame, 0), 23, "len at offset 0");
+    assert_eq!(frame[4], op::TRACK_SUGGEST, "opcode at offset 4");
+    assert_eq!(u64_at(&frame, 5), 7, "user at offset 5");
+    assert_eq!(u64_at(&frame, 13), 1_000, "now at offset 13");
+    assert_eq!(frame[21], 3, "k at offset 21");
+    assert_eq!(frame[22], 4, "query length at offset 22");
+    assert_eq!(&frame[23..27], b"rust", "query bytes at offset 23");
+
+    // And the decoder agrees about the same bytes.
+    match wire::decode_request(&frame[4..]).unwrap() {
+        Request::TrackSuggest {
+            user,
+            now,
+            k,
+            query,
+        } => assert_eq!((user, now, k, query), (7, 1_000, 3, "rust")),
+        other => panic!("decoded wrong request: {other:?}"),
+    }
+}
+
+#[test]
+fn suggestions_reply_matches_the_spec_hex_dump() {
+    // WIRE.md §6: R_SUGGESTIONS with one entry, "rust book" @ 0.5.
+    let mut body = Vec::new();
+    wire::encode_suggestions(
+        &mut body,
+        &[Suggestion {
+            query: "rust book".into(),
+            score: 0.5,
+        }],
+    );
+    let frame = framed(&body);
+
+    let golden: &[u8] = &[
+        0x14, 0x00, 0x00, 0x00, // len = 20
+        0x82, // opcode R_SUGGESTIONS
+        0x01, // count = 1
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x3F, // score = 0.5
+        0x09, // query length = 9
+        0x72, 0x75, 0x73, 0x74, 0x20, 0x62, 0x6F, 0x6F, 0x6B, // "rust book"
+    ];
+    assert_eq!(frame, golden, "encoder drifted from WIRE.md §6");
+
+    assert_eq!(frame.len(), 24);
+    assert_eq!(u32_at(&frame, 0), 20, "len at offset 0");
+    assert_eq!(frame[4], op::R_SUGGESTIONS, "opcode at offset 4");
+    assert_eq!(frame[5], 1, "count at offset 5");
+    assert_eq!(
+        u64_at(&frame, 6),
+        0.5f64.to_bits(),
+        "score bit pattern 0x3FE0000000000000 at offset 6"
+    );
+    assert_eq!(frame[14], 9, "query length at offset 14");
+    assert_eq!(&frame[15..24], b"rust book", "query bytes at offset 15");
+
+    match wire::decode_reply(&frame[4..]).unwrap() {
+        Reply::Suggestions(list) => {
+            assert_eq!(list.iter().collect::<Vec<_>>(), vec![(0.5, "rust book")]);
+        }
+        other => panic!("decoded wrong reply: {other:?}"),
+    }
+}
+
+#[test]
+fn stats_reply_is_seven_fixed_u64s_in_spec_order() {
+    // WIRE.md §4: R_STATS is a fixed 57-byte body — opcode plus seven
+    // u64 LE counters in this exact order.
+    let stats = wire::WireStats {
+        generation: 1,
+        tracks: 2,
+        suggests: 3,
+        publishes: 4,
+        shed: 5,
+        evictions: 6,
+        active_sessions: 7,
+    };
+    let mut body = Vec::new();
+    wire::encode_stats_reply(&mut body, &stats);
+    assert_eq!(body.len(), 1 + 7 * 8);
+    assert_eq!(body[0], op::R_STATS);
+    for (i, expected) in (1u64..=7).enumerate() {
+        assert_eq!(
+            u64_at(&body, 1 + i * 8),
+            expected,
+            "counter {i} at offset {}",
+            1 + i * 8
+        );
+    }
+}
+
+#[test]
+fn spec_authored_bytes_decode_without_the_encoder() {
+    // A frame written straight from the §3 table (never produced by our
+    // encoder): SUGGEST_BATCH now=42 with entries (1, k=5), (258, k=300).
+    // 300 as a uvarint is AC 02 (§2 edge-value table).
+    let mut body = vec![op::SUGGEST_BATCH];
+    body.extend_from_slice(&42u64.to_le_bytes()); // now
+    body.push(0x02); // count = 2
+    body.extend_from_slice(&1u64.to_le_bytes()); // user = 1
+    body.push(0x05); // k = 5
+    body.extend_from_slice(&258u64.to_le_bytes()); // user = 258
+    body.extend_from_slice(&[0xAC, 0x02]); // k = 300
+
+    match wire::decode_request(&body).unwrap() {
+        Request::SuggestBatch { now, entries } => {
+            assert_eq!(now, 42);
+            let got: Vec<_> = entries.iter().map(|e| (e.user, e.k)).collect();
+            assert_eq!(got, vec![(1, 5), (258, 300)]);
+        }
+        other => panic!("decoded wrong request: {other:?}"),
+    }
+}

@@ -22,8 +22,8 @@
 use crate::ring::{HashRing, DEFAULT_VNODES};
 use sqp_common::hash::fx_hash_one;
 use sqp_serve::{
-    EngineConfig, EngineStats, ModelSnapshot, Overloaded, ServeEngine, SuggestRequest, Suggestion,
-    TrackOutcome,
+    EngineConfig, EngineStats, ModelSnapshot, Overloaded, ServeEngine, ServeSurface,
+    SuggestRequest, Suggestion, TrackOutcome,
 };
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -277,6 +277,66 @@ impl RouterEngine {
         out
     }
 
+    /// Admission-controlled [`suggest_batch`](Self::suggest_batch),
+    /// all-or-nothing: each involved replica's sub-batch costs one of its
+    /// permits, and the first replica that sheds fails the whole call (the
+    /// answers already computed by earlier replicas are discarded, so the
+    /// caller never merges partial answers with partial sheds). Uninvolved
+    /// replicas spend nothing.
+    pub fn try_suggest_batch(
+        &self,
+        requests: &[SuggestRequest],
+        now: u64,
+    ) -> Result<Vec<Vec<Suggestion>>, Overloaded> {
+        if self.replicas.len() == 1 {
+            return self.replicas[0].try_suggest_batch(requests, now);
+        }
+        let mut per_replica: Vec<Vec<usize>> = vec![Vec::new(); self.replicas.len()];
+        for (at, request) in requests.iter().enumerate() {
+            per_replica[self.replica_for(request.user)].push(at);
+        }
+        let mut out: Vec<Vec<Suggestion>> = vec![Vec::new(); requests.len()];
+        let mut sub: Vec<SuggestRequest> = Vec::new();
+        for (replica, members) in per_replica.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            sub.clear();
+            sub.extend(members.iter().map(|&at| requests[at]));
+            let answers = self.replicas[replica].try_suggest_batch(&sub, now)?;
+            for (&at, answer) in members.iter().zip(answers) {
+                out[at] = answer;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The tier's counters and gauges folded into one [`EngineStats`]:
+    /// counters (tracks, suggests, shed, evictions) and the session gauge
+    /// sum across replicas, while `publishes` reports the *minimum* replica
+    /// generation — the fully-propagated trailing edge, matching what
+    /// [`ServeSurface::generation`](sqp_serve::ServeSurface::generation)
+    /// reports for a tier. Per-replica detail stays in [`Self::stats`].
+    pub fn aggregate_stats(&self) -> EngineStats {
+        let mut folded = EngineStats::default();
+        let mut min_generation = u64::MAX;
+        for replica in &self.replicas {
+            let stats = replica.stats();
+            folded.tracks += stats.tracks;
+            folded.suggests += stats.suggests;
+            folded.shed += stats.shed;
+            folded.evictions += stats.evictions;
+            folded.active_sessions += stats.active_sessions;
+            min_generation = min_generation.min(replica.generation());
+        }
+        folded.publishes = if min_generation == u64::MAX {
+            0
+        } else {
+            min_generation
+        };
+        folded
+    }
+
     /// Stateless suggestion for an explicit context. No session is
     /// involved, so any replica could answer; the context itself is hashed
     /// onto the ring to spread these deterministically.
@@ -388,6 +448,59 @@ impl RouterEngine {
             })
             .collect();
         RouterStats { replicas }
+    }
+}
+
+/// The router speaks the same [`ServeSurface`] as a single engine, so the
+/// network front-end (`sqp-net`) and the stress harness
+/// (`sqp-bench::serve_loop`) run unchanged on a replicated tier. Every
+/// method delegates to the inherent routed implementation; the
+/// tier-summary accessors report the trailing edge
+/// ([`RouterStats::min_generation`]) and fold counters across replicas
+/// ([`RouterEngine::aggregate_stats`]).
+impl ServeSurface for RouterEngine {
+    fn track(&self, user: u64, query: &str, now: u64) -> TrackOutcome {
+        RouterEngine::track(self, user, query, now)
+    }
+    fn track_and_suggest(&self, user: u64, query: &str, k: usize, now: u64) -> Vec<Suggestion> {
+        RouterEngine::track_and_suggest(self, user, query, k, now)
+    }
+    fn try_track_and_suggest(
+        &self,
+        user: u64,
+        query: &str,
+        k: usize,
+        now: u64,
+    ) -> Result<Vec<Suggestion>, Overloaded> {
+        RouterEngine::try_track_and_suggest(self, user, query, k, now)
+    }
+    fn try_suggest(&self, user: u64, k: usize, now: u64) -> Result<Vec<Suggestion>, Overloaded> {
+        RouterEngine::try_suggest(self, user, k, now)
+    }
+    fn suggest_batch(&self, requests: &[SuggestRequest], now: u64) -> Vec<Vec<Suggestion>> {
+        RouterEngine::suggest_batch(self, requests, now)
+    }
+    fn try_suggest_batch(
+        &self,
+        requests: &[SuggestRequest],
+        now: u64,
+    ) -> Result<Vec<Vec<Suggestion>>, Overloaded> {
+        RouterEngine::try_suggest_batch(self, requests, now)
+    }
+    fn evict_idle(&self, now: u64) -> usize {
+        RouterEngine::evict_idle(self, now)
+    }
+    fn publish(&self, snapshot: Arc<ModelSnapshot>) -> u64 {
+        RouterEngine::publish(self, snapshot)
+    }
+    fn generation(&self) -> u64 {
+        self.stats().min_generation()
+    }
+    fn stats(&self) -> EngineStats {
+        self.aggregate_stats()
+    }
+    fn active_sessions(&self) -> usize {
+        RouterEngine::active_sessions(self)
     }
 }
 
@@ -542,6 +655,57 @@ mod tests {
             .expect("some user maps to the other replica");
         assert!(r.try_track_and_suggest(other_user, "start", 1, 100).is_ok());
         assert_eq!(r.stats().replicas[home].stats.shed, 1);
+    }
+
+    #[test]
+    fn try_batch_is_all_or_nothing_and_aggregates_report_the_trailing_edge() {
+        let r = RouterEngine::new(
+            snapshot("old"),
+            RouterConfig {
+                replicas: 3,
+                engine: EngineConfig {
+                    max_in_flight: 1,
+                    ..EngineConfig::default()
+                },
+                ..RouterConfig::default()
+            },
+        );
+        for user in 0..24 {
+            r.track(user, "start", 100);
+        }
+        let requests: Vec<SuggestRequest> =
+            (0..24).map(|user| SuggestRequest { user, k: 1 }).collect();
+        let ok = r.try_suggest_batch(&requests, 120).unwrap();
+        assert_eq!(ok.len(), 24);
+        assert!(ok.iter().all(|s| s[0].query == "old::next"));
+        // Saturate one involved replica: the whole batch sheds.
+        let home = r.replica_for(requests[0].user);
+        let _permit = r.replica(home).admit().unwrap();
+        assert!(r.try_suggest_batch(&requests, 130).is_err());
+
+        // Aggregated stats fold counters and report the trailing edge.
+        r.publish_to(0, snapshot("new"));
+        let folded = r.aggregate_stats();
+        assert_eq!(folded.publishes, 0, "tier not fully propagated yet");
+        assert_eq!(folded.tracks, 24);
+        assert_eq!(folded.active_sessions, 24);
+        assert_eq!(folded.shed, 1);
+        let surface: &dyn ServeSurface = &r;
+        assert_eq!(surface.generation(), 0);
+        surface.publish(snapshot("new"));
+        assert_eq!(surface.generation(), r.stats().min_generation());
+        assert_eq!(surface.stats().publishes, surface.generation());
+    }
+
+    /// Compile-time audit (mirrors sqp-serve's): the tier is shareable
+    /// exactly like a single engine, including type-erased.
+    #[test]
+    fn router_surface_is_send_sync() {
+        fn takes_surface<S: ServeSurface>() {}
+        fn takes_send_sync<T: Send + Sync>() {}
+        takes_surface::<RouterEngine>();
+        takes_send_sync::<RouterEngine>();
+        takes_send_sync::<Arc<dyn ServeSurface>>();
     }
 
     #[test]

@@ -68,6 +68,7 @@
 pub mod engine;
 pub mod session;
 pub mod snapshot;
+pub mod surface;
 pub mod swap;
 
 pub use engine::{
@@ -75,4 +76,5 @@ pub use engine::{
 };
 pub use session::{SessionTracker, TrackOutcome, TrackerConfig, DEFAULT_CUTOFF_SECS};
 pub use snapshot::{ModelSnapshot, ModelSpec, Suggestion, TrainingConfig};
+pub use surface::ServeSurface;
 pub use swap::Swap;

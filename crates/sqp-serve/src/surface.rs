@@ -1,0 +1,206 @@
+//! [`ServeSurface`]: the one trait every serving tier speaks.
+//!
+//! Three layers sit on top of a serving tier and none of them should care
+//! whether the tier is a single [`ServeEngine`] or a replicated
+//! `RouterEngine` (`sqp-router` implements this trait for it):
+//!
+//! * the **network front-end** (`sqp-net`) translates wire frames into
+//!   these calls — including the admission-controlled `try_*` forms, whose
+//!   typed [`Overloaded`] rejection becomes a wire-level shed reply;
+//! * the **stress harness** (`sqp-bench::serve_loop`) drives byte-identical
+//!   seeded traffic through any implementation so two tiers' reports are
+//!   directly comparable;
+//! * **operations** polls [`stats`](ServeSurface::stats) /
+//!   [`generation`](ServeSurface::generation), which implementations keep
+//!   lock-free so a poller never contends with traffic.
+//!
+//! The trait requires `Send + Sync`: a surface is always shared across
+//! threads (worker pools, reader threads, stats pollers), and requiring it
+//! here turns a accidentally-non-`Sync` implementation into a compile
+//! error at `impl` time rather than a usage error at spawn time.
+
+use crate::engine::{EngineStats, Overloaded, ServeEngine, SuggestRequest};
+use crate::session::TrackOutcome;
+use crate::snapshot::{ModelSnapshot, Suggestion};
+use std::sync::Arc;
+
+/// The operations a serving tier exposes to front-ends, harnesses, and
+/// operators — the common surface of [`ServeEngine`] and `RouterEngine`.
+///
+/// Admission: the `try_*` forms shed with [`Overloaded`] when the tier's
+/// in-flight budget is exhausted; the plain forms never shed. A network
+/// front-end uses `try_*` so overload turns into a typed wire reply
+/// instead of a stalled connection.
+pub trait ServeSurface: Send + Sync {
+    /// Record `query` for `user` at `now` without suggesting.
+    fn track(&self, user: u64, query: &str, now: u64) -> TrackOutcome;
+
+    /// Record `query` for `user` and suggest against the updated context.
+    fn track_and_suggest(&self, user: u64, query: &str, k: usize, now: u64) -> Vec<Suggestion>;
+
+    /// Admission-controlled [`track_and_suggest`](Self::track_and_suggest).
+    fn try_track_and_suggest(
+        &self,
+        user: u64,
+        query: &str,
+        k: usize,
+        now: u64,
+    ) -> Result<Vec<Suggestion>, Overloaded>;
+
+    /// Admission-controlled suggestion against `user`'s tracked session.
+    fn try_suggest(&self, user: u64, k: usize, now: u64) -> Result<Vec<Suggestion>, Overloaded>;
+
+    /// Batched suggestion in request order.
+    fn suggest_batch(&self, requests: &[SuggestRequest], now: u64) -> Vec<Vec<Suggestion>>;
+
+    /// Admission-controlled [`suggest_batch`](Self::suggest_batch). The
+    /// batch is all-or-nothing: if any involved replica's budget is
+    /// exhausted the whole call sheds, so a caller never has to merge
+    /// partial answers with partial sheds.
+    fn try_suggest_batch(
+        &self,
+        requests: &[SuggestRequest],
+        now: u64,
+    ) -> Result<Vec<Vec<Suggestion>>, Overloaded>;
+
+    /// Drop idle sessions; returns how many.
+    fn evict_idle(&self, now: u64) -> usize;
+
+    /// Publish a new snapshot to the whole surface (every replica, for a
+    /// tier). Returns the surface's fully-propagated generation after the
+    /// publish.
+    fn publish(&self, snapshot: Arc<ModelSnapshot>) -> u64;
+
+    /// The surface's fully-propagated generation (minimum across replicas).
+    fn generation(&self) -> u64;
+
+    /// Lock-free counters and gauges, aggregated across replicas for a
+    /// tier (`publishes` reports the fully-propagated generation, matching
+    /// [`generation`](Self::generation)). This is what a wire-level stats
+    /// endpoint serves, so it must stay cheap enough to poll per request.
+    fn stats(&self) -> EngineStats;
+
+    /// Sessions currently resident.
+    fn active_sessions(&self) -> usize;
+
+    /// Total individual suggestions computed.
+    fn suggests_total(&self) -> u64 {
+        self.stats().suggests
+    }
+}
+
+impl ServeSurface for ServeEngine {
+    fn track(&self, user: u64, query: &str, now: u64) -> TrackOutcome {
+        ServeEngine::track(self, user, query, now)
+    }
+    fn track_and_suggest(&self, user: u64, query: &str, k: usize, now: u64) -> Vec<Suggestion> {
+        ServeEngine::track_and_suggest(self, user, query, k, now)
+    }
+    fn try_track_and_suggest(
+        &self,
+        user: u64,
+        query: &str,
+        k: usize,
+        now: u64,
+    ) -> Result<Vec<Suggestion>, Overloaded> {
+        ServeEngine::try_track_and_suggest(self, user, query, k, now)
+    }
+    fn try_suggest(&self, user: u64, k: usize, now: u64) -> Result<Vec<Suggestion>, Overloaded> {
+        ServeEngine::try_suggest(self, user, k, now)
+    }
+    fn suggest_batch(&self, requests: &[SuggestRequest], now: u64) -> Vec<Vec<Suggestion>> {
+        ServeEngine::suggest_batch(self, requests, now)
+    }
+    fn try_suggest_batch(
+        &self,
+        requests: &[SuggestRequest],
+        now: u64,
+    ) -> Result<Vec<Vec<Suggestion>>, Overloaded> {
+        ServeEngine::try_suggest_batch(self, requests, now)
+    }
+    fn evict_idle(&self, now: u64) -> usize {
+        ServeEngine::evict_idle(self, now)
+    }
+    fn publish(&self, snapshot: Arc<ModelSnapshot>) -> u64 {
+        ServeEngine::publish(self, snapshot)
+    }
+    fn generation(&self) -> u64 {
+        ServeEngine::generation(self)
+    }
+    fn stats(&self) -> EngineStats {
+        ServeEngine::stats(self)
+    }
+    fn active_sessions(&self) -> usize {
+        ServeEngine::active_sessions(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Compile-time audit: the surface trait itself guarantees
+    /// `Send + Sync` (it is a supertrait bound, so every implementation is
+    /// checked where it is written), and the engine satisfies it both
+    /// directly and behind the pointer types front-ends actually share.
+    #[test]
+    fn surface_is_send_sync_everywhere_it_is_used() {
+        fn takes_surface<S: ServeSurface>() {}
+        fn takes_send_sync<T: Send + Sync>() {}
+        takes_surface::<ServeEngine>();
+        takes_send_sync::<ServeEngine>();
+        takes_send_sync::<Arc<ServeEngine>>();
+        // A type-erased surface (how sqp-net's server can hold "any tier")
+        // must remain shareable too.
+        takes_send_sync::<Arc<dyn ServeSurface>>();
+    }
+
+    #[test]
+    fn engine_surface_delegates() {
+        use crate::snapshot::{ModelSpec, TrainingConfig};
+        use sqp_logsim::RawLogRecord;
+
+        let rec = |machine, ts, q: &str| RawLogRecord {
+            machine_id: machine,
+            timestamp: ts,
+            query: q.into(),
+            clicks: vec![],
+        };
+        let records: Vec<_> = (0..6)
+            .flat_map(|u| [rec(u, 100, "start"), rec(u, 150, "start::next")])
+            .collect();
+        let snapshot = Arc::new(ModelSnapshot::from_raw_logs(
+            &records,
+            &TrainingConfig {
+                model: ModelSpec::Adjacency,
+                ..TrainingConfig::default()
+            },
+        ));
+        let engine = ServeEngine::new(
+            Arc::clone(&snapshot),
+            crate::engine::EngineConfig::default(),
+        );
+        let surface: &dyn ServeSurface = &engine;
+        let outcome = surface.track(1, "start", 100);
+        assert!(outcome.new_session);
+        assert_eq!(
+            surface.try_suggest(1, 1, 110).unwrap()[0].query,
+            "start::next"
+        );
+        assert_eq!(
+            surface.track_and_suggest(2, "start", 1, 100)[0].query,
+            "start::next"
+        );
+        let batch = surface
+            .try_suggest_batch(&[SuggestRequest { user: 1, k: 1 }], 120)
+            .unwrap();
+        assert_eq!(batch[0][0].query, "start::next");
+        assert_eq!(surface.publish(snapshot), 1);
+        assert_eq!(surface.generation(), 1);
+        let stats = surface.stats();
+        assert_eq!(stats.publishes, 1);
+        assert_eq!(surface.suggests_total(), stats.suggests);
+        assert_eq!(surface.active_sessions(), 2);
+        assert_eq!(surface.evict_idle(u64::MAX / 2), 2);
+    }
+}

@@ -12,6 +12,7 @@ pub use sqp_common as common;
 pub use sqp_core as core;
 pub use sqp_eval as eval;
 pub use sqp_logsim as logsim;
+pub use sqp_net as net;
 pub use sqp_router as router;
 pub use sqp_serve as serve;
 pub use sqp_sessions as sessions;
@@ -24,8 +25,9 @@ pub mod prelude {
     pub use crate::service::{RecommenderService, ServiceConfig, ServiceModel, Suggestion};
     pub use sqp_common::{QueryId, QuerySeq};
     pub use sqp_core::Recommender;
+    pub use sqp_net::{NetClient, NetServer, ServeAnswer, ServerConfig};
     pub use sqp_router::{RouterConfig, RouterEngine, RouterStats};
-    pub use sqp_serve::{EngineConfig, ModelSnapshot, ServeEngine, SuggestRequest};
+    pub use sqp_serve::{EngineConfig, ModelSnapshot, ServeEngine, ServeSurface, SuggestRequest};
     pub use sqp_store::{
         load_snapshot, save_snapshot, RetrainConfig, Retrainer, RollPolicy, RouterPublish,
         SnapshotError, SnapshotMeta, WarmStart,
