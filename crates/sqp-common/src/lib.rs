@@ -19,6 +19,9 @@
 //!   the serve path (zero-allocation counting, binary-search lookups);
 //! * [`rng`] — a seedable xoshiro256++ PRNG (the workspace builds with no
 //!   external crates, so this replaces `rand`);
+//! * [`breaker`] — the shared Closed/Open/HalfOpen circuit breaker and
+//!   capped-exponential [`Backoff`] used by both the supervised retrain loop
+//!   (`sqp-store`) and the remote serving client (`sqp-net`);
 //! * [`fsio`], [`clock`], [`hazard`] — the fault seams: filesystem, time,
 //!   and chaos-injection-point traits the resilient serving stack crosses,
 //!   with real/no-op production implementations (`sqp-faults` provides the
@@ -30,6 +33,7 @@
 #![deny(missing_docs)]
 
 pub mod arena;
+pub mod breaker;
 pub mod bytes;
 pub mod clock;
 pub mod counter;
@@ -45,6 +49,7 @@ pub mod rng;
 pub mod topk;
 
 pub use arena::{SuffixTrie, TrieBuilder};
+pub use breaker::{Admission, Backoff, Breaker, BreakerConfig, BreakerState, BreakerStats};
 pub use clock::{Clock, RealClock};
 pub use counter::Counter;
 pub use fsio::{FsIo, RealFs};

@@ -16,6 +16,10 @@
 //! * [`VirtualClock`] — a [`Clock`](sqp_common::clock::Clock) whose sleeps
 //!   advance instantly, so backoff- and cooldown-heavy scenarios run in
 //!   microseconds.
+//! * [`ChaosProxy`] ([`netchaos`]) — a loopback TCP forwarder that injects
+//!   the plan's *network* faults (refuse-accept, black-hole,
+//!   close-mid-frame, byte-truncate, delay) between any client and a real
+//!   server, so cross-process resilience is provable in-repo.
 //!
 //! Everything is std-only and seeded by `sqp-common`'s xoshiro256++: a run
 //! with the same plan makes bit-identical fault decisions, which the chaos
@@ -26,9 +30,11 @@
 mod chaos;
 mod clock;
 mod fs;
+pub mod netchaos;
 mod plan;
 
 pub use chaos::{Chaos, ChaosStats, PANIC_MARKER};
 pub use clock::VirtualClock;
 pub use fs::FaultyFs;
+pub use netchaos::{ChaosProxy, ProxyStats};
 pub use plan::FaultPlan;

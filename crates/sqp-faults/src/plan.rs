@@ -47,6 +47,24 @@ pub struct FaultPlan {
     pub p_delay: f64,
     /// Stall length for injected delays.
     pub delay: Duration,
+    /// 1-based accepted-connection ordinals a [`ChaosProxy`] closes
+    /// immediately after accepting (the closest a listening proxy gets to
+    /// a refused connect: the client sees an instant reset/EOF).
+    ///
+    /// [`ChaosProxy`]: crate::netchaos::ChaosProxy
+    pub refuse_accept_on: Vec<u64>,
+    /// 1-based accepted-connection ordinals a proxy black-holes: bytes in
+    /// either direction are swallowed, nothing is forwarded, the
+    /// connection stays open until the client's deadline fires.
+    pub blackhole_conn_on: Vec<u64>,
+    /// 1-based global client→server frame ordinals the proxy cuts
+    /// mid-frame: the length prefix and half the body are forwarded, then
+    /// both sides are killed (the server sees a torn frame).
+    pub cut_frame_c2s_on: Vec<u64>,
+    /// 1-based global server→client frame ordinals the proxy truncates:
+    /// the frame is forwarded missing its last byte, then both sides are
+    /// killed (the client sees a torn reply).
+    pub truncate_frame_s2c_on: Vec<u64>,
 }
 
 impl FaultPlan {
@@ -67,6 +85,10 @@ impl FaultPlan {
             && self.corrupt_write_on.is_empty()
             && (self.panic_sites.is_empty() || self.panic_on.is_empty())
             && (self.p_delay <= 0.0 || self.delay_site_prefixes.is_empty())
+            && self.refuse_accept_on.is_empty()
+            && self.blackhole_conn_on.is_empty()
+            && self.cut_frame_c2s_on.is_empty()
+            && self.truncate_frame_s2c_on.is_empty()
     }
 }
 

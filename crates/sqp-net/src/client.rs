@@ -18,12 +18,28 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 /// Client-side failure of one request.
+///
+/// Transport failures (the old collapsed `Transport` case) are split by
+/// cause — [`Timeout`](NetError::Timeout) /
+/// [`Disconnected`](NetError::Disconnected) /
+/// [`Refused`](NetError::Refused) — because a resilient caller treats
+/// them differently: a timeout means the request *may have executed*
+/// (never blindly resend a non-idempotent op), a refused connect means it
+/// certainly did not (always safe to fail over), and a disconnect on an
+/// idle pooled connection is routine churn worth one reconnect.
 #[derive(Debug)]
 pub enum NetError {
-    /// Transport failure (includes timeouts and mid-frame disconnects).
-    Io(io::Error),
-    /// The server closed the connection cleanly where a reply was due.
+    /// An I/O deadline expired (connect, read, or write). The request may
+    /// or may not have reached the server.
+    Timeout(io::Error),
+    /// The connection dropped: clean EOF where a reply was due, a reset,
+    /// a broken pipe, or an EOF mid-frame.
     Disconnected,
+    /// The endpoint actively refused the connection — nothing is
+    /// listening there, so the request certainly never executed.
+    Refused(io::Error),
+    /// Any other transport failure.
+    Io(io::Error),
     /// The reply frame did not decode.
     Wire(WireError),
     /// The server answered with a typed `R_ERROR`.
@@ -43,8 +59,10 @@ pub enum NetError {
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NetError::Io(e) => write!(f, "transport error: {e}"),
+            NetError::Timeout(e) => write!(f, "i/o deadline expired: {e}"),
             NetError::Disconnected => write!(f, "server disconnected"),
+            NetError::Refused(e) => write!(f, "connection refused: {e}"),
+            NetError::Io(e) => write!(f, "transport error: {e}"),
             NetError::Wire(e) => write!(f, "undecodable reply: {e}"),
             NetError::Remote { code, message } => {
                 write!(f, "server error (code {code}): {message}")
@@ -60,7 +78,17 @@ impl std::error::Error for NetError {}
 
 impl From<io::Error> for NetError {
     fn from(e: io::Error) -> Self {
-        NetError::Io(e)
+        use io::ErrorKind::*;
+        match e.kind() {
+            // Blocking sockets report an expired SO_RCVTIMEO/SO_SNDTIMEO
+            // as either kind depending on platform.
+            TimedOut | WouldBlock => NetError::Timeout(e),
+            ConnectionRefused => NetError::Refused(e),
+            ConnectionReset | ConnectionAborted | BrokenPipe | UnexpectedEof | NotConnected => {
+                NetError::Disconnected
+            }
+            _ => NetError::Io(e),
+        }
     }
 }
 
@@ -116,10 +144,13 @@ impl NetClient {
         Self::from_stream(TcpStream::connect(addr)?)
     }
 
-    /// Connect and bound every read/write by `timeout` — what a test
-    /// harness uses so a hung server fails fast instead of wedging CI.
+    /// Connect and bound the connect itself *and* every read/write by
+    /// `timeout` — what resilient callers use so a black-holed SYN (a
+    /// firewalled or fault-injected endpoint) fails fast instead of
+    /// hanging the OS connect default, and a hung server fails fast
+    /// instead of wedging the caller.
     pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         Self::from_stream(stream)
@@ -133,6 +164,14 @@ impl NetClient {
             rbuf: Vec::new(),
             max_frame_len: wire::DEFAULT_MAX_FRAME,
         })
+    }
+
+    /// Rebound (or clear, with `None`) the read/write timeouts of this
+    /// connection — how a pooled connection gets a fresh per-attempt
+    /// deadline without reconnecting.
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
     }
 
     /// Shut down the write half, telling the server no more requests are

@@ -15,6 +15,10 @@
 //!   typed `R_OVERLOADED` reply instead of stalling intake.
 //! * [`NetClient`] — a blocking keep-alive client reusing its buffers
 //!   across requests.
+//! * [`RemoteEngine`] — a resilient [`ServeSurface`](sqp_serve::ServeSurface)
+//!   over one or more remote endpoints: deadlines, idempotent-only
+//!   retries with backoff, per-endpoint circuit breakers, failover, and
+//!   typed degradation ([`remote`]).
 //! * [`AdminSurface`] — live snapshot publication (`PUBLISH`,
 //!   `ROLLING_PUBLISH`) driven through `sqp-store`'s [`WarmStart`]
 //!   (single engine) and [`RouterPublish`] (replica-by-replica roll).
@@ -60,10 +64,15 @@
 pub mod admin;
 pub mod client;
 pub mod frame;
+pub mod remote;
 pub mod server;
 pub mod wire;
 
 pub use admin::AdminSurface;
 pub use client::{BatchAnswer, NetClient, NetError, ServeAnswer, TrackAck};
+pub use remote::{
+    DegradedReason, EndpointConfig, EndpointStats, RemoteConfig, RemoteEngine, RemoteOutcome,
+    RemoteStats,
+};
 pub use server::{NetServer, NetServerStats, NetSurface, ServerConfig};
 pub use wire::{BatchEntry, Reply, Request, RollSummary, WireError, WireStats};

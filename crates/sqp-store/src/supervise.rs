@@ -20,7 +20,9 @@
 //! * **Circuit breaker** — consecutive failures past a threshold trip the
 //!   loop [`BreakerState::Open`]: retrain attempts stop, the engine keeps
 //!   serving its last good snapshot, and after a cooldown one half-open
-//!   probe attempt decides between recovery and re-tripping.
+//!   probe attempt decides between recovery and re-tripping. The state
+//!   machine is the shared [`sqp_common::breaker::Breaker`] — the same one
+//!   `sqp-net`'s `RemoteEngine` uses per endpoint.
 //!
 //! Note the semantic difference from the unsupervised loop: `retrain_once`
 //! publishes in-memory even when the disk fails (freshness over
@@ -32,6 +34,7 @@ use crate::error::{RetrainError, SnapshotError};
 use crate::format::{save_snapshot_with, SnapshotMeta};
 use crate::quarantine::{newest_good_snapshot, quarantine_file, validate_snapshot_file};
 use crate::retrain::{rotate_snapshots_with, snapshot_file_name, Retrainer};
+use sqp_common::breaker::{Admission, Backoff, Breaker, BreakerConfig};
 use sqp_common::clock::{Clock, RealClock};
 use sqp_common::fsio::{FsIo, RealFs};
 use sqp_common::hazard::{Hazard, NoHazard};
@@ -71,18 +74,7 @@ impl Default for SuperviseConfig {
     }
 }
 
-/// Circuit-breaker position.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum BreakerState {
-    /// Normal operation; failures are counted.
-    Closed,
-    /// Tripped: steps are refused until the cooldown elapses. The engine
-    /// keeps serving its last good snapshot.
-    Open,
-    /// Cooldown elapsed: the next step is a probe — success closes the
-    /// breaker, failure re-trips it.
-    HalfOpen,
-}
+pub use sqp_common::breaker::BreakerState;
 
 /// Point-in-time health of the supervised loop, for operators and tests.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -144,9 +136,6 @@ pub enum StepOutcome {
 
 #[derive(Debug)]
 struct Inner {
-    breaker: BreakerState,
-    open_until_millis: u64,
-    consecutive_failures: u32,
     retrains_ok: u64,
     failures: u64,
     save_retries: u64,
@@ -154,8 +143,6 @@ struct Inner {
     rollbacks: u64,
     rollback_files_skipped: u64,
     rotation_errors: u64,
-    breaker_trips: u64,
-    breaker_recoveries: u64,
     steps_skipped_open: u64,
     /// Last validated-and-published snapshot: generation and path. The
     /// path is additionally protected from rotation.
@@ -210,6 +197,7 @@ pub struct Supervisor<'r> {
     io: Arc<dyn FsIo>,
     clock: Arc<dyn Clock>,
     hazard: Arc<dyn Hazard>,
+    breaker: Breaker,
     inner: Mutex<Inner>,
 }
 
@@ -236,16 +224,18 @@ impl<'r> Supervisor<'r> {
         clock: Arc<dyn Clock>,
         hazard: Arc<dyn Hazard>,
     ) -> Self {
+        let breaker = Breaker::new(BreakerConfig {
+            threshold: cfg.breaker_threshold,
+            cooldown: cfg.cooldown,
+        });
         Self {
             retrainer,
             cfg,
             io,
             clock,
             hazard,
+            breaker,
             inner: Mutex::new(Inner {
-                breaker: BreakerState::Closed,
-                open_until_millis: 0,
-                consecutive_failures: 0,
                 retrains_ok: 0,
                 failures: 0,
                 save_retries: 0,
@@ -253,8 +243,6 @@ impl<'r> Supervisor<'r> {
                 rollbacks: 0,
                 rollback_files_skipped: 0,
                 rotation_errors: 0,
-                breaker_trips: 0,
-                breaker_recoveries: 0,
                 steps_skipped_open: 0,
                 last_good: None,
                 last_error: None,
@@ -276,10 +264,11 @@ impl<'r> Supervisor<'r> {
 
     /// Snapshot of the loop's health.
     pub fn health(&self) -> RetrainerHealth {
+        let breaker = self.breaker.stats();
         let inner = self.lock_inner();
         RetrainerHealth {
-            breaker: inner.breaker,
-            consecutive_failures: inner.consecutive_failures,
+            breaker: breaker.state,
+            consecutive_failures: breaker.consecutive_failures,
             retrains_ok: inner.retrains_ok,
             failures: inner.failures,
             save_retries: inner.save_retries,
@@ -287,48 +276,38 @@ impl<'r> Supervisor<'r> {
             rollbacks: inner.rollbacks,
             rollback_files_skipped: inner.rollback_files_skipped,
             rotation_errors: inner.rotation_errors,
-            breaker_trips: inner.breaker_trips,
-            breaker_recoveries: inner.breaker_recoveries,
+            breaker_trips: breaker.trips,
+            breaker_recoveries: breaker.recoveries,
             steps_skipped_open: inner.steps_skipped_open,
             last_good_generation: inner.last_good.as_ref().map(|(g, _)| *g),
             last_error: inner.last_error.clone(),
         }
     }
 
-    /// Record a failed step: count it, remember the error, and trip the
-    /// breaker when warranted (threshold reached, or any half-open probe
+    /// Record a failed step: count it, remember the error, and feed the
+    /// breaker (which trips at the threshold, or on any half-open probe
     /// failure).
     fn fail(&self, err: RetrainError) -> StepOutcome {
-        let mut inner = self.lock_inner();
-        inner.failures += 1;
-        inner.consecutive_failures += 1;
-        inner.last_error = Some(err.to_string());
-        let probe_failed = inner.breaker == BreakerState::HalfOpen;
-        if probe_failed || inner.consecutive_failures >= self.cfg.breaker_threshold.max(1) {
-            inner.breaker = BreakerState::Open;
-            inner.open_until_millis = self
-                .clock
-                .now_millis()
-                .saturating_add(self.cfg.cooldown.as_millis() as u64);
-            inner.breaker_trips += 1;
+        {
+            let mut inner = self.lock_inner();
+            inner.failures += 1;
+            inner.last_error = Some(err.to_string());
         }
+        self.breaker.record_failure(self.clock.now_millis());
         StepOutcome::Failed(err)
     }
 
-    /// Record a successful publish: reset the failure streak, close the
-    /// breaker (counting a recovery if it was not closed), and remember
-    /// the generation as last-good.
+    /// Record a successful publish: close the breaker (counting a recovery
+    /// if it was not closed) and remember the generation as last-good.
     fn succeed(&self, generation: u64, path: Option<PathBuf>) -> StepOutcome {
-        let mut inner = self.lock_inner();
-        inner.retrains_ok += 1;
-        inner.consecutive_failures = 0;
-        if inner.breaker != BreakerState::Closed {
-            inner.breaker_recoveries += 1;
-            inner.breaker = BreakerState::Closed;
+        {
+            let mut inner = self.lock_inner();
+            inner.retrains_ok += 1;
+            if let Some(p) = &path {
+                inner.last_good = Some((generation, p.clone()));
+            }
         }
-        if let Some(p) = &path {
-            inner.last_good = Some((generation, p.clone()));
-        }
+        self.breaker.record_success();
         StepOutcome::Published { generation, path }
     }
 
@@ -339,21 +318,18 @@ impl<'r> Supervisor<'r> {
     /// publish the loaded snapshot → rotate. Any failure leaves the engine
     /// on its last good snapshot and feeds the breaker.
     pub fn step(&self, engine: &ServeEngine) -> StepOutcome {
-        {
-            let mut inner = self.lock_inner();
-            if inner.breaker == BreakerState::Open {
-                let now = self.clock.now_millis();
-                if now < inner.open_until_millis {
-                    inner.steps_skipped_open += 1;
-                    return StepOutcome::BreakerOpen {
-                        remaining_millis: inner.open_until_millis - now,
-                    };
-                }
-                inner.breaker = BreakerState::HalfOpen;
-            }
+        let admission = self.breaker.admit(self.clock.now_millis());
+        if let Admission::Refused { remaining_millis } = admission {
+            self.lock_inner().steps_skipped_open += 1;
+            return StepOutcome::BreakerOpen { remaining_millis };
         }
 
         let Some(window) = self.retrainer.drain_window() else {
+            // An idle step neither proves nor disproves recovery: release
+            // a held half-open probe slot so the next real step gets it.
+            if admission == Admission::Probe {
+                self.breaker.cancel_probe();
+            }
             return StepOutcome::Idle;
         };
 
@@ -388,9 +364,11 @@ impl<'r> Supervisor<'r> {
         }
         let path = dir.join(snapshot_file_name(generation));
 
-        // Save with capped exponential backoff between attempts.
+        // Save with capped exponential backoff between attempts (jitter-free:
+        // one supervisor per store, so there is no retry storm to decorrelate
+        // and virtual-clock chaos digests stay stable).
         let max_attempts = self.cfg.max_save_attempts.max(1);
-        let mut backoff = self.cfg.backoff_initial;
+        let mut backoff = Backoff::new(self.cfg.backoff_initial, self.cfg.backoff_cap);
         let mut attempts = 0u32;
         loop {
             attempts += 1;
@@ -406,8 +384,7 @@ impl<'r> Supervisor<'r> {
                         });
                     }
                     self.lock_inner().save_retries += 1;
-                    self.clock.sleep(backoff);
-                    backoff = std::cmp::min(backoff.saturating_mul(2), self.cfg.backoff_cap);
+                    self.clock.sleep(backoff.next_delay());
                 }
             }
         }

@@ -25,7 +25,10 @@ pub mod prelude {
     pub use crate::service::{RecommenderService, ServiceConfig, ServiceModel, Suggestion};
     pub use sqp_common::{QueryId, QuerySeq};
     pub use sqp_core::Recommender;
-    pub use sqp_net::{NetClient, NetServer, ServeAnswer, ServerConfig};
+    pub use sqp_net::{
+        EndpointConfig, NetClient, NetServer, RemoteConfig, RemoteEngine, RemoteOutcome,
+        ServeAnswer, ServerConfig,
+    };
     pub use sqp_router::{RouterConfig, RouterEngine, RouterStats};
     pub use sqp_serve::{EngineConfig, ModelSnapshot, ServeEngine, ServeSurface, SuggestRequest};
     pub use sqp_store::{
