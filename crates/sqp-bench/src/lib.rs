@@ -11,6 +11,7 @@
 pub mod baseline;
 pub mod chaos;
 pub mod harness;
+pub mod membership_loop;
 pub mod net_loop;
 pub mod router_loop;
 pub mod serve_loop;

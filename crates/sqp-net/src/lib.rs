@@ -71,8 +71,8 @@ pub mod wire;
 pub use admin::AdminSurface;
 pub use client::{BatchAnswer, NetClient, NetError, ServeAnswer, TrackAck};
 pub use remote::{
-    DegradedReason, EndpointConfig, EndpointStats, RemoteConfig, RemoteEngine, RemoteOutcome,
-    RemoteStats,
+    DegradedReason, EndpointConfig, EndpointSetError, EndpointStats, RemoteConfig, RemoteEngine,
+    RemoteOutcome, RemoteStats,
 };
 pub use server::{NetServer, NetServerStats, NetSurface, ServerConfig};
 pub use wire::{BatchEntry, Reply, Request, RollSummary, WireError, WireStats};

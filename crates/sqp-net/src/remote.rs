@@ -37,6 +37,31 @@
 //! Connections are pooled per endpoint (warmup at construction, reconnect
 //! on demand, capped checkin), so steady state pays one connect per pooled
 //! slot, not per request.
+//!
+//! # Live endpoint membership
+//!
+//! The endpoint set is held in a [`Swap`] — the same publication cell the
+//! serve tier uses for model snapshots — so it can change **at runtime,
+//! under traffic**, with one pointer swap and zero locks on the serving
+//! path. Every operation loads the snapshot once and runs its whole
+//! deadline/retry/failover scan against that consistent view:
+//!
+//! * [`add_endpoint`](RemoteEngine::add_endpoint) builds a new endpoint
+//!   (best-effort pool warmup, fresh breaker) and swaps in a superset
+//!   vector; the very next operation can route to it.
+//! * [`retire_endpoint`](RemoteEngine::retire_endpoint) swaps the
+//!   endpoint *out* first — no new operation will scan it — then waits
+//!   out its in-flight operations (bounded by one operation's worst case,
+//!   `deadline + attempt_timeout`), then drains its connection pool so
+//!   the client side initiates every TCP close. Retiring the last
+//!   endpoint is refused: an empty tier cannot degrade gracefully, it can
+//!   only error.
+//!
+//! Operations that raced the swap and still hold the old snapshot may
+//! make one final attempt against a retired endpoint; that attempt either
+//! completes (the wait covers it) or fails and the normal failover path
+//! absorbs it. Membership changes serialize on a control-plane mutex that
+//! serving never touches.
 
 use crate::admin::AdminSurface;
 use crate::client::{BatchAnswer, NetClient, NetError, ServeAnswer};
@@ -45,7 +70,9 @@ use sqp_common::breaker::{Admission, Backoff, Breaker, BreakerConfig, BreakerSta
 use sqp_common::clock::{Clock, RealClock};
 use sqp_common::hash::FxHasher;
 use sqp_serve::TrackOutcome;
-use sqp_serve::{EngineStats, ModelSnapshot, Overloaded, ServeSurface, SuggestRequest, Suggestion};
+use sqp_serve::{
+    EngineStats, ModelSnapshot, Overloaded, ServeSurface, SuggestRequest, Suggestion, Swap,
+};
 use sqp_store::{save_snapshot, SnapshotMeta};
 use std::fmt;
 use std::hash::Hasher;
@@ -225,6 +252,9 @@ pub struct EndpointStats {
     pub other_errors: u64,
     /// Idle pooled connections right now.
     pub pooled: usize,
+    /// Operations executing against this endpoint right now — what
+    /// retirement waits to reach zero.
+    pub in_flight: u64,
 }
 
 /// Client-side counters of a [`RemoteEngine`] — what an operator reads to
@@ -264,9 +294,36 @@ struct Endpoint {
     pool: Mutex<Vec<NetClient>>,
     breaker: Breaker,
     counters: EndpointCounters,
+    /// Operations currently executing against this endpoint (between
+    /// checkout and checkin/drop). Retirement waits for this to reach
+    /// zero before draining the pool.
+    in_flight: AtomicU64,
 }
 
 impl Endpoint {
+    /// A fresh endpoint with a closed breaker and a best-effort warm
+    /// pool (endpoints that are down simply start with an empty pool).
+    fn connect(cfg: EndpointConfig, remote: &RemoteConfig) -> Self {
+        let ep = Self {
+            serve_addr: cfg.serve_addr,
+            admin_addr: cfg.admin_addr,
+            pool: Mutex::new(Vec::new()),
+            breaker: Breaker::new(remote.breaker),
+            counters: EndpointCounters::default(),
+            in_flight: AtomicU64::new(0),
+        };
+        {
+            let mut pool = ep.lock_pool();
+            for _ in 0..remote.pool_warmup.min(remote.pool_cap) {
+                match NetClient::connect_timeout(ep.serve_addr, remote.connect_timeout) {
+                    Ok(client) => pool.push(client),
+                    Err(_) => break,
+                }
+            }
+        }
+        ep
+    }
+
     fn lock_pool(&self) -> MutexGuard<'_, Vec<NetClient>> {
         // A poisoned pool lock only guards plain connections; recover it.
         self.pool.lock().unwrap_or_else(PoisonError::into_inner)
@@ -281,7 +338,50 @@ impl Endpoint {
         };
         counter.fetch_add(1, Ordering::Relaxed);
     }
+
+    fn begin_op(&self) -> InFlightOp<'_> {
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        InFlightOp(&self.in_flight)
+    }
 }
+
+/// Scope guard for [`Endpoint::in_flight`]: decrement on every exit path,
+/// including panics, so a wedged op can never pin retirement forever.
+struct InFlightOp<'a>(&'a AtomicU64);
+
+impl Drop for InFlightOp<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Why a runtime endpoint-set change was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EndpointSetError {
+    /// [`add_endpoint`](RemoteEngine::add_endpoint) of a serve address
+    /// already in the set — endpoints are keyed by serve address.
+    AlreadyPresent(SocketAddr),
+    /// [`retire_endpoint`](RemoteEngine::retire_endpoint) of an address
+    /// not in the set.
+    Unknown(SocketAddr),
+    /// Retiring the only endpoint: a tier with zero endpoints cannot
+    /// degrade, it can only error, so the last one is never removable.
+    LastEndpoint,
+}
+
+impl fmt::Display for EndpointSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EndpointSetError::AlreadyPresent(addr) => {
+                write!(f, "endpoint {addr} is already in the set")
+            }
+            EndpointSetError::Unknown(addr) => write!(f, "endpoint {addr} is not in the set"),
+            EndpointSetError::LastEndpoint => write!(f, "cannot retire the last endpoint"),
+        }
+    }
+}
+
+impl std::error::Error for EndpointSetError {}
 
 /// Idempotency of one wire operation — decides retry policy.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -298,7 +398,15 @@ enum Retryable {
 pub struct RemoteEngine {
     cfg: RemoteConfig,
     clock: Arc<dyn Clock>,
-    endpoints: Vec<Endpoint>,
+    /// The live endpoint set: swapped as one immutable vector, loaded
+    /// once per operation. The [`Swap`] generation counts membership
+    /// changes. Serving never locks this; membership verbs serialize on
+    /// `membership` and publish through one pointer swap.
+    endpoints: Swap<Vec<Arc<Endpoint>>>,
+    /// Serializes [`add_endpoint`](Self::add_endpoint) /
+    /// [`retire_endpoint`](Self::retire_endpoint); never touched by the
+    /// serving path.
+    membership: Mutex<()>,
     /// Monotonic operation counter: round-robin cursor for user-less
     /// operations and jitter-stream selector for backoff.
     op_seq: AtomicU64,
@@ -329,29 +437,15 @@ impl RemoteEngine {
         clock: Arc<dyn Clock>,
     ) -> Self {
         assert!(!endpoints.is_empty(), "a RemoteEngine needs >= 1 endpoint");
-        let endpoints: Vec<Endpoint> = endpoints
+        let endpoints: Vec<Arc<Endpoint>> = endpoints
             .into_iter()
-            .map(|e| Endpoint {
-                serve_addr: e.serve_addr,
-                admin_addr: e.admin_addr,
-                pool: Mutex::new(Vec::new()),
-                breaker: Breaker::new(cfg.breaker),
-                counters: EndpointCounters::default(),
-            })
+            .map(|e| Arc::new(Endpoint::connect(e, &cfg)))
             .collect();
-        for ep in &endpoints {
-            let mut pool = ep.lock_pool();
-            for _ in 0..cfg.pool_warmup.min(cfg.pool_cap) {
-                match NetClient::connect_timeout(ep.serve_addr, cfg.connect_timeout) {
-                    Ok(client) => pool.push(client),
-                    Err(_) => break,
-                }
-            }
-        }
         Self {
             cfg,
             clock,
-            endpoints,
+            endpoints: Swap::new(Arc::new(endpoints)),
+            membership: Mutex::new(()),
             op_seq: AtomicU64::new(0),
             spool_seq: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
@@ -361,6 +455,101 @@ impl RemoteEngine {
             sheds: AtomicU64::new(0),
             publishes_skipped: AtomicU64::new(0),
         }
+    }
+
+    /// The current endpoint snapshot: one load, then a consistent view
+    /// for the whole operation regardless of concurrent membership
+    /// changes.
+    fn snapshot(&self) -> Arc<Vec<Arc<Endpoint>>> {
+        self.endpoints.load()
+    }
+
+    /// Endpoints in the live set right now.
+    pub fn endpoint_count(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// Serve addresses of the live set, in scan order.
+    pub fn endpoint_addrs(&self) -> Vec<SocketAddr> {
+        self.snapshot().iter().map(|ep| ep.serve_addr).collect()
+    }
+
+    /// Membership generation: 0 at construction, +1 per successful
+    /// [`add_endpoint`](Self::add_endpoint) or
+    /// [`retire_endpoint`](Self::retire_endpoint).
+    pub fn endpoint_generation(&self) -> u64 {
+        self.endpoints.generation()
+    }
+
+    /// Add a new endpoint to the live set, under traffic.
+    ///
+    /// The endpoint gets a fresh (closed) breaker and a best-effort warm
+    /// pool before it is swapped in, so its first routed operation pays
+    /// no connect in the common case. Returns the new membership
+    /// generation. Refuses a serve address already in the set — the set
+    /// is keyed by serve address.
+    pub fn add_endpoint(&self, endpoint: EndpointConfig) -> Result<u64, EndpointSetError> {
+        let _guard = self.lock_membership();
+        let current = self.snapshot();
+        if current
+            .iter()
+            .any(|ep| ep.serve_addr == endpoint.serve_addr)
+        {
+            return Err(EndpointSetError::AlreadyPresent(endpoint.serve_addr));
+        }
+        // Warm up outside any serving path; only the control plane waits.
+        let fresh = Arc::new(Endpoint::connect(endpoint, &self.cfg));
+        let mut next = current.as_ref().clone();
+        next.push(fresh);
+        Ok(self.endpoints.store(Arc::new(next)))
+    }
+
+    /// Retire an endpoint from the live set, under traffic.
+    ///
+    /// Three steps, in an order that bounds what traffic can observe:
+    /// the endpoint is swapped out **first** (no new operation scans
+    /// it), then its in-flight operations are waited out (bounded by one
+    /// operation's worst case, `deadline + attempt_timeout`, through the
+    /// [`Clock`] seam), then its connection pool is drained so the
+    /// client initiates every TCP close. Refuses to retire the last
+    /// endpoint. Returns the new membership generation.
+    pub fn retire_endpoint(&self, serve_addr: SocketAddr) -> Result<u64, EndpointSetError> {
+        let _guard = self.lock_membership();
+        let current = self.snapshot();
+        let Some(at) = current.iter().position(|ep| ep.serve_addr == serve_addr) else {
+            return Err(EndpointSetError::Unknown(serve_addr));
+        };
+        if current.len() == 1 {
+            return Err(EndpointSetError::LastEndpoint);
+        }
+        let victim = Arc::clone(&current[at]);
+        let mut next = current.as_ref().clone();
+        next.remove(at);
+        let generation = self.endpoints.store(Arc::new(next));
+
+        // Wait out operations that already hold the old snapshot. One
+        // operation lives at most deadline + one attempt timeout, so a
+        // bounded poll cannot hang the control plane on a wedged socket.
+        let bound = self
+            .cfg
+            .deadline
+            .saturating_add(self.cfg.attempt_timeout)
+            .as_millis() as u64;
+        let start = self.clock.now_millis();
+        while victim.in_flight.load(Ordering::Acquire) > 0
+            && self.clock.now_millis().saturating_sub(start) < bound
+        {
+            self.clock.sleep(Duration::from_millis(2));
+        }
+        victim.lock_pool().clear();
+        Ok(generation)
+    }
+
+    fn lock_membership(&self) -> MutexGuard<'_, ()> {
+        // The membership lock guards no data, only ordering; recover it.
+        self.membership
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Client-side counters plus per-endpoint breaker and pool detail.
@@ -373,7 +562,7 @@ impl RemoteEngine {
             sheds: self.sheds.load(Ordering::Relaxed),
             publishes_skipped: self.publishes_skipped.load(Ordering::Relaxed),
             endpoints: self
-                .endpoints
+                .snapshot()
                 .iter()
                 .map(|ep| EndpointStats {
                     serve_addr: ep.serve_addr,
@@ -384,15 +573,17 @@ impl RemoteEngine {
                     disconnects: ep.counters.disconnects.load(Ordering::Relaxed),
                     other_errors: ep.counters.other_errors.load(Ordering::Relaxed),
                     pooled: ep.lock_pool().len(),
+                    in_flight: ep.in_flight.load(Ordering::Acquire),
                 })
                 .collect(),
         }
     }
 
-    /// Breaker position/counters of endpoint `index` (panics out of
-    /// range) — what tests assert open→half-open→closed transitions on.
+    /// Breaker position/counters of endpoint `index` in the current
+    /// snapshot (panics out of range) — what tests assert
+    /// open→half-open→closed transitions on.
     pub fn endpoint_breaker(&self, index: usize) -> BreakerStats {
-        self.endpoints[index].breaker.stats()
+        self.snapshot()[index].breaker.stats()
     }
 
     /// Close every pooled connection on every endpoint.
@@ -403,13 +594,12 @@ impl RemoteEngine {
     /// `TIME_WAIT` — which is exactly what lets a drained server restart
     /// on the same port immediately.
     pub fn drain_pools(&self) {
-        for ep in &self.endpoints {
+        for ep in self.snapshot().iter() {
             ep.lock_pool().clear();
         }
     }
 
-    fn home_index(&self, user: Option<u64>) -> usize {
-        let n = self.endpoints.len();
+    fn home_index(&self, user: Option<u64>, n: usize) -> usize {
         match user {
             Some(u) => {
                 let mut h = FxHasher::default();
@@ -447,8 +637,12 @@ impl RemoteEngine {
         mut op: impl FnMut(&mut NetClient) -> Result<T, NetError>,
     ) -> RemoteOutcome<T> {
         let seq = self.op_seq.fetch_add(1, Ordering::Relaxed);
-        let home = self.home_index(user);
-        let n = self.endpoints.len();
+        // One snapshot for the whole operation: every attempt, breaker
+        // check, and failover scan sees the same membership, even while
+        // add/retire swap the live set underneath.
+        let endpoints = self.snapshot();
+        let home = self.home_index(user, endpoints.len());
+        let n = endpoints.len();
         let deadline_at = self
             .clock
             .now_millis()
@@ -476,7 +670,7 @@ impl RemoteEngine {
             let mut admitted = None;
             for i in 0..n {
                 let idx = (home + shift + i) % n;
-                match self.endpoints[idx].breaker.admit(now) {
+                match endpoints[idx].breaker.admit(now) {
                     Admission::Allowed | Admission::Probe => {
                         admitted = Some(idx);
                         break;
@@ -488,10 +682,11 @@ impl RemoteEngine {
                 self.degraded.fetch_add(1, Ordering::Relaxed);
                 return RemoteOutcome::Degraded(DegradedReason::AllBreakersOpen);
             };
-            let ep = &self.endpoints[idx];
+            let ep = &endpoints[idx];
             if idx != home {
                 self.failovers.fetch_add(1, Ordering::Relaxed);
             }
+            let _op = ep.begin_op();
 
             let remaining = Duration::from_millis(deadline_at - now);
             match self.checkout(ep, remaining) {
@@ -649,7 +844,7 @@ impl RemoteEngine {
         &self,
         mut op: impl FnMut(&mut NetClient) -> Result<T, NetError>,
     ) -> Vec<Option<T>> {
-        self.endpoints
+        self.snapshot()
             .iter()
             .map(|ep| {
                 let now = self.clock.now_millis();
@@ -657,6 +852,7 @@ impl RemoteEngine {
                     Admission::Refused { .. } => return None,
                     Admission::Allowed | Admission::Probe => {}
                 }
+                let _op = ep.begin_op();
                 let mut client = match self.checkout(ep, self.cfg.attempt_timeout) {
                     Ok(c) => c,
                     Err(e) => {
@@ -715,7 +911,7 @@ impl RemoteEngine {
         &self,
         mut op: impl FnMut(&mut NetClient) -> Result<T, NetError>,
     ) -> Vec<(SocketAddr, Result<T, String>)> {
-        self.endpoints
+        self.snapshot()
             .iter()
             .filter_map(|ep| ep.admin_addr.map(|admin| (ep.serve_addr, admin)))
             .map(|(serve, admin)| {
@@ -878,7 +1074,7 @@ impl AdminSurface for RemoteEngine {
         let path_str = path.to_string_lossy().into_owned();
         let mut total = RollSummary::default();
         let admins: Vec<(SocketAddr, SocketAddr)> = self
-            .endpoints
+            .snapshot()
             .iter()
             .filter_map(|ep| ep.admin_addr.map(|admin| (ep.serve_addr, admin)))
             .collect();

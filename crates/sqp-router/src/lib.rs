@@ -27,5 +27,7 @@
 mod ring;
 mod router;
 
-pub use ring::{HashRing, DEFAULT_VNODES};
-pub use router::{ReplicaStats, RouterConfig, RouterEngine, RouterStats};
+pub use ring::{HashRing, WouldEmptyRing, DEFAULT_VNODES};
+pub use router::{
+    HandoffReport, MembershipError, ReplicaStats, RouterConfig, RouterEngine, RouterStats,
+};

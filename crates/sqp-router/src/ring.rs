@@ -33,12 +33,32 @@
 //! determinism while destroying the lattice structure.
 
 use sqp_common::hash::fx_hash_one;
+use std::fmt;
 
 /// Default virtual nodes per replica. 128 keeps the arc-length imbalance
 /// across replicas within 2× of uniform for small clusters (asserted by the
 /// property tests) while the whole ring for, say, 8 replicas still fits in
 /// a few cache lines' worth of binary-search depth.
 pub const DEFAULT_VNODES: usize = 128;
+
+/// Error from [`HashRing::remove`]: removing this replica would leave the
+/// ring empty, and an empty ring cannot route.
+///
+/// The invariant this error defends: **a ring that has ever held a replica
+/// never becomes empty through `remove`** — so `route` is total on any
+/// ring built with at least one replica and only ever mutated through
+/// `add`/`remove`. Callers that genuinely want to tear a tier down drop
+/// the ring; they don't drain it to zero one replica at a time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WouldEmptyRing;
+
+impl fmt::Display for WouldEmptyRing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "removing the last replica would leave an empty ring")
+    }
+}
+
+impl std::error::Error for WouldEmptyRing {}
 
 /// A consistent-hash ring mapping `u64` user ids onto replica indices.
 ///
@@ -101,16 +121,26 @@ impl HashRing {
         true
     }
 
-    /// Remove a replica id. Returns false if absent. Users on the removed
-    /// arcs fall through to the next point on the circle; everyone else is
-    /// untouched.
-    pub fn remove(&mut self, id: u32) -> bool {
+    /// Remove a replica id. `Ok(false)` if absent (nothing changes),
+    /// `Ok(true)` if removed. Users on the removed arcs fall through to
+    /// the next point on the circle; everyone else is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WouldEmptyRing`] — and changes nothing — when `id` is the
+    /// only replica: a non-empty ring never becomes empty through
+    /// `remove`, which is what keeps [`HashRing::route`] total on any ring
+    /// constructed with at least one replica.
+    pub fn remove(&mut self, id: u32) -> Result<bool, WouldEmptyRing> {
         let Ok(at) = self.replicas.binary_search(&id) else {
-            return false;
+            return Ok(false);
         };
+        if self.replicas.len() == 1 {
+            return Err(WouldEmptyRing);
+        }
         self.replicas.remove(at);
         self.points.retain(|&(_, r)| r != id);
-        true
+        Ok(true)
     }
 
     /// The replica serving `user`.
@@ -118,8 +148,27 @@ impl HashRing {
     /// # Panics
     ///
     /// Panics if the ring is empty — an empty serving tier cannot route.
+    /// Rings built with ≥1 replica never reach that state (see
+    /// [`WouldEmptyRing`]); rings built empty should route through
+    /// [`HashRing::try_route`] instead.
     pub fn route(&self, user: u64) -> u32 {
         self.route_hash(fx_hash_one(&user))
+    }
+
+    /// The replica serving `user`, or `None` when the ring is empty — the
+    /// total-function form of [`HashRing::route`] for callers that build
+    /// rings from dynamic id sets and cannot rule the empty case out.
+    pub fn try_route(&self, user: u64) -> Option<u32> {
+        self.try_route_hash(fx_hash_one(&user))
+    }
+
+    /// [`HashRing::route_hash`], but `None` instead of a panic on an empty
+    /// ring.
+    pub fn try_route_hash(&self, hash: u64) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.route_hash(hash))
     }
 
     /// Route a precomputed hash — for callers that place non-user keys
@@ -195,8 +244,8 @@ mod tests {
         let mut ring = HashRing::new(3, 8);
         assert_eq!(ring.replica_ids(), &[0, 1, 2]);
         assert!(!ring.add(1));
-        assert!(ring.remove(1));
-        assert!(!ring.remove(1));
+        assert_eq!(ring.remove(1), Ok(true));
+        assert_eq!(ring.remove(1), Ok(false));
         assert_eq!(ring.replica_ids(), &[0, 2]);
         assert!(ring.add(1));
         assert_eq!(ring.len(), 3);
@@ -205,7 +254,7 @@ mod tests {
     #[test]
     fn routes_only_to_live_replicas() {
         let mut ring = HashRing::new(4, 16);
-        ring.remove(2);
+        ring.remove(2).unwrap();
         for user in 0..1000u64 {
             assert_ne!(
                 ring.route(user),
@@ -216,9 +265,38 @@ mod tests {
     }
 
     #[test]
+    fn remove_refuses_to_empty_the_ring() {
+        let mut ring = HashRing::new(2, 8);
+        assert_eq!(ring.remove(0), Ok(true));
+        // Down to one replica: the last remove is refused, the ring is
+        // untouched, and routing stays total.
+        assert_eq!(ring.remove(1), Err(WouldEmptyRing));
+        assert_eq!(ring.replica_ids(), &[1]);
+        assert_eq!(ring.route(42), 1);
+        // Removing an id that was never present is still a quiet no-op,
+        // even at size one.
+        assert_eq!(ring.remove(7), Ok(false));
+        // Grow again and the previously refused id removes cleanly.
+        assert!(ring.add(3));
+        assert_eq!(ring.remove(1), Ok(true));
+        assert_eq!(ring.replica_ids(), &[3]);
+    }
+
+    #[test]
     #[should_panic(expected = "empty ring")]
     fn empty_ring_panics() {
         HashRing::with_ids([], 8).route(1);
+    }
+
+    #[test]
+    fn try_route_is_total() {
+        let empty = HashRing::with_ids([], 8);
+        assert_eq!(empty.try_route(1), None);
+        assert_eq!(empty.try_route_hash(0xdead_beef), None);
+        let ring = HashRing::new(3, 8);
+        for user in 0..100u64 {
+            assert_eq!(ring.try_route(user), Some(ring.route(user)));
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::session::{SessionTracker, TrackOutcome, TrackerConfig};
 use crate::snapshot::{ModelSnapshot, Suggestion};
 use crate::swap::Swap;
 use sqp_common::hazard::{Hazard, NoHazard};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Engine construction parameters.
@@ -149,6 +149,12 @@ pub struct ServeEngine {
     /// Precomputed `"serve.shard.N"` hazard-site names, one per stripe, so
     /// the hot path never formats strings to announce a seam crossing.
     shard_sites: Box<[String]>,
+    /// Draining mode: existing sessions keep being served, new ones are
+    /// refused (see [`ServeEngine::set_draining`]).
+    draining: AtomicBool,
+    /// Tracks refused because the engine was draining and the query would
+    /// have started a new session.
+    drain_refused: AtomicU64,
 }
 
 impl ServeEngine {
@@ -182,6 +188,44 @@ impl ServeEngine {
             shed: AtomicU64::new(0),
             hazard,
             shard_sites,
+            draining: AtomicBool::new(false),
+            drain_refused: AtomicU64::new(0),
+        }
+    }
+
+    /// Enter or leave draining mode.
+    ///
+    /// A draining engine keeps serving every **existing** live session —
+    /// tracks, suggests, batches — but refuses any track that would start
+    /// a **new** session (first contact, or a return past the idle
+    /// cutoff). A refused track returns the sentinel outcome
+    /// `TrackOutcome { new_session: false, context_len: 0 }` (impossible
+    /// for an admitted track, which always has `context_len ≥ 1`) and is
+    /// counted in [`ServeEngine::drain_refused`]. This is the serve-layer
+    /// half of a membership drain: routing stops sending new users here,
+    /// and stragglers cannot take root while the replica winds down.
+    pub fn set_draining(&self, draining: bool) {
+        self.draining.store(draining, Ordering::Release);
+    }
+
+    /// True when the engine is refusing new sessions (see
+    /// [`ServeEngine::set_draining`]).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Tracks refused in draining mode because they would have started a
+    /// new session. Monotonic over the engine's lifetime.
+    pub fn drain_refused(&self) -> u64 {
+        self.drain_refused.load(Ordering::Relaxed)
+    }
+
+    /// The sentinel outcome for a track refused by draining mode.
+    fn refuse_drain(&self) -> TrackOutcome {
+        self.drain_refused.fetch_add(1, Ordering::Relaxed);
+        TrackOutcome {
+            new_session: false,
+            context_len: 0,
         }
     }
 
@@ -249,6 +293,12 @@ impl ServeEngine {
     /// epoch — only gaps matter).
     pub fn track(&self, user: u64, query: &str, now: u64) -> TrackOutcome {
         self.tracks.fetch_add(1, Ordering::Relaxed);
+        if self.is_draining() {
+            return match self.tracker.track_existing(user, query, now) {
+                Some(outcome) => outcome,
+                None => self.refuse_drain(),
+            };
+        }
         self.tracker.track(user, query, now)
     }
 
@@ -270,6 +320,7 @@ impl ServeEngine {
         self.tracks.fetch_add(1, Ordering::Relaxed);
         self.suggests.fetch_add(1, Ordering::Relaxed);
         let snapshot = self.current.load();
+        let draining = self.is_draining();
         let mut ids = Vec::new();
         let covered = {
             let shard_idx = self.tracker.shard_index(user);
@@ -278,6 +329,20 @@ impl ServeEngine {
             // panic here poisons the lock, exercising the tracker's poison
             // recovery; an injected stall models a slow shard.
             self.hazard.strike(&self.shard_sites[shard_idx]);
+            if draining {
+                // Same rule as `SessionTracker::track_existing`, applied
+                // inside this path's own critical section: only a session
+                // that is live *right now* may be extended.
+                let cutoff = self.tracker.config().idle_cutoff_secs;
+                let live = shard.sessions.get(&user).is_some_and(|state| {
+                    !state.ring.is_empty() && now.saturating_sub(state.last_seen) <= cutoff
+                });
+                if !live {
+                    drop(shard);
+                    self.refuse_drain();
+                    return Vec::new();
+                }
+            }
             let (_, state, inserted) = shard.track(user, query, now, self.tracker.config());
             self.tracker.note_insert(inserted);
             snapshot.resolve_context_into(state.ring.iter(), &mut ids)
@@ -589,6 +654,36 @@ mod tests {
         // The same user (same stripe) keeps serving after poison recovery.
         let got = e.try_track_and_suggest(7, "start", 3, 110).unwrap();
         assert_eq!(got[0].query, "old::next");
+    }
+
+    #[test]
+    fn draining_serves_existing_sessions_and_refuses_new_ones() {
+        let e = engine();
+        e.track(1, "start", 100);
+        e.set_draining(true);
+        assert!(e.is_draining());
+        // Existing live session: still served, context still grows.
+        let got = e.track_and_suggest(1, "old::next", 3, 110);
+        assert!(got.is_empty(), "adjacency context of 2 is uncovered");
+        assert_eq!(e.tracker().context(1, 120), vec!["start", "old::next"]);
+        // New user: the track is refused with the sentinel outcome.
+        let out = e.track(2, "start", 120);
+        assert_eq!(
+            out,
+            TrackOutcome {
+                new_session: false,
+                context_len: 0
+            }
+        );
+        assert!(e.track_and_suggest(3, "start", 3, 120).is_empty());
+        assert_eq!(e.drain_refused(), 2);
+        assert_eq!(e.active_sessions(), 1, "refused tracks must not insert");
+        // Suggests for existing sessions keep working while draining.
+        assert_eq!(e.suggest(1, 3, 130).len(), 0);
+        e.track(1, "start", 140);
+        // Leaving draining mode re-admits new sessions.
+        e.set_draining(false);
+        assert!(e.track(2, "start", 150).new_session);
     }
 
     #[test]

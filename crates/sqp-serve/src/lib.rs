@@ -74,7 +74,9 @@ pub mod swap;
 pub use engine::{
     EngineConfig, EngineStats, InFlightPermit, Overloaded, ServeEngine, SuggestRequest,
 };
-pub use session::{SessionTracker, TrackOutcome, TrackerConfig, DEFAULT_CUTOFF_SECS};
+pub use session::{
+    ExportBatch, SessionExport, SessionTracker, TrackOutcome, TrackerConfig, DEFAULT_CUTOFF_SECS,
+};
 pub use snapshot::{ModelSnapshot, ModelSpec, Suggestion, TrainingConfig};
 pub use surface::ServeSurface;
 pub use swap::Swap;

@@ -64,6 +64,36 @@ pub struct TrackOutcome {
     pub context_len: usize,
 }
 
+/// One session lifted out of a tracker for import into another — the unit
+/// of live-membership handoff.
+///
+/// Contexts are query **text** (see the module docs), so an export is
+/// meaningful on any replica regardless of which model snapshot it serves:
+/// handoff is model-generation-independent. `last_seen` carries the
+/// 30-minute-rule timestamp across, so a session that was 29 minutes idle
+/// on the old home is still 29 minutes idle on the new one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionExport {
+    /// The user whose session this is.
+    pub user: u64,
+    /// The context window, oldest query first.
+    pub queries: Vec<String>,
+    /// Seconds timestamp of the user's last activity.
+    pub last_seen: u64,
+}
+
+/// Result of [`SessionTracker::export_sessions`]: the copied sessions plus
+/// an account of what the idle filter left behind.
+#[derive(Clone, Debug, Default)]
+pub struct ExportBatch {
+    /// Exported sessions, sorted by user id (deterministic order).
+    pub sessions: Vec<SessionExport>,
+    /// Sessions that matched the filter but were idle past the cutoff at
+    /// export time — skipped: their context is already dead under the
+    /// 30-minute rule, so moving it would only resurrect stale state.
+    pub skipped_idle: usize,
+}
+
 /// Bounded most-recent-queries window: a fixed-capacity ring that overwrites
 /// its oldest entry when full.
 #[derive(Debug)]
@@ -104,7 +134,7 @@ impl ContextRing {
         self.len
     }
 
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.len == 0
     }
 
@@ -318,6 +348,105 @@ impl SessionTracker {
     pub fn active_sessions(&self) -> usize {
         self.resident.load(Ordering::Relaxed)
     }
+
+    /// Like [`SessionTracker::track`], but **refuses to start a session**:
+    /// returns `None` — and changes nothing — when `user` has no resident
+    /// session or their session is idle past the cutoff at `now` (which
+    /// would make this query a fresh session under the 30-minute rule).
+    /// This is the tracker half of a draining engine: existing sessions
+    /// keep being served to completion, new ones are turned away.
+    pub fn track_existing(&self, user: u64, query: &str, now: u64) -> Option<TrackOutcome> {
+        let mut shard = self.lock_shard(self.shard_index(user));
+        match shard.sessions.get(&user) {
+            Some(state)
+                if !state.ring.is_empty()
+                    && now.saturating_sub(state.last_seen) <= self.cfg.idle_cutoff_secs => {}
+            _ => return None,
+        }
+        let (outcome, _, inserted) = shard.track(user, query, now, &self.cfg);
+        debug_assert!(!inserted && !outcome.new_session);
+        Some(outcome)
+    }
+
+    /// Copy out every live session whose user matches `filter` — the export
+    /// half of a membership handoff.
+    ///
+    /// * **Copy, not move**: the source tracker keeps serving the session
+    ///   until the caller swaps routing away from it. A handed-off user
+    ///   therefore always finds their context *somewhere* the ring routes
+    ///   them, whichever side of the swap an operation lands on.
+    /// * **Idle sessions are skipped** (counted in
+    ///   [`ExportBatch::skipped_idle`]): their context is already dead
+    ///   under the 30-minute rule.
+    /// * Stripes are locked one at a time — export never stalls traffic on
+    ///   more than one stripe, and never holds two locks at once.
+    pub fn export_sessions(&self, now: u64, mut filter: impl FnMut(u64) -> bool) -> ExportBatch {
+        let cutoff = self.cfg.idle_cutoff_secs;
+        let mut batch = ExportBatch::default();
+        for index in 0..self.shards.len() {
+            let shard = self.lock_shard(index);
+            for (&user, state) in shard.sessions.iter() {
+                if !filter(user) {
+                    continue;
+                }
+                if state.ring.is_empty() || now.saturating_sub(state.last_seen) > cutoff {
+                    batch.skipped_idle += 1;
+                    continue;
+                }
+                batch.sessions.push(SessionExport {
+                    user,
+                    queries: state.ring.iter().map(str::to_owned).collect(),
+                    last_seen: state.last_seen,
+                });
+            }
+        }
+        // Map iteration order is an implementation detail; sorted output
+        // makes export deterministic for replayable handoff scenarios.
+        batch.sessions.sort_unstable_by_key(|s| s.user);
+        batch
+    }
+
+    /// Install an exported session — the import half of a membership
+    /// handoff. Returns `true` when the session was installed.
+    ///
+    /// If the user already has a session here with `last_seen` **at or
+    /// after** the export's, the import is dropped and `false` returned:
+    /// the resident session saw activity at least as recent as the copy,
+    /// so clobbering it could throw away queries tracked after the export
+    /// was cut (the race window between export and ring swap). Newest
+    /// activity wins; the context window is truncated to this tracker's
+    /// capacity, keeping the most recent queries.
+    pub fn import_session(&self, export: &SessionExport) -> bool {
+        let mut shard = self.lock_shard(self.shard_index(export.user));
+        let mut inserted = false;
+        let state = match shard.sessions.entry(export.user) {
+            Entry::Occupied(entry) => {
+                let state = entry.into_mut();
+                if state.last_seen >= export.last_seen {
+                    return false;
+                }
+                state
+            }
+            Entry::Vacant(entry) => {
+                inserted = true;
+                entry.insert(SessionState {
+                    ring: ContextRing::new(self.cfg.context_capacity),
+                    last_seen: export.last_seen,
+                })
+            }
+        };
+        state.ring.clear();
+        for query in &export.queries {
+            // Pushing oldest → newest into the bounded ring keeps the
+            // newest `context_capacity` queries when the destination window
+            // is smaller than the exported one.
+            state.ring.push(query.as_str().into());
+        }
+        state.last_seen = export.last_seen;
+        // Still under the stripe lock: the gauge and the map agree.
+        self.note_insert(inserted);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -449,6 +578,81 @@ mod tests {
         assert_eq!(t.active_sessions(), 0);
         // An evicted user re-inserts and counts again.
         t.track(3, "back", 1001);
+        assert_eq!(t.active_sessions(), 1);
+    }
+
+    #[test]
+    fn track_existing_refuses_new_and_expired_sessions() {
+        let cfg = TrackerConfig {
+            idle_cutoff_secs: 100,
+            ..TrackerConfig::default()
+        };
+        let t = SessionTracker::new(cfg);
+        // Unknown user: refused, nothing created.
+        assert_eq!(t.track_existing(1, "a", 10), None);
+        assert_eq!(t.active_sessions(), 0);
+        // Live session: tracked normally.
+        t.track(1, "a", 10);
+        let out = t.track_existing(1, "b", 50).expect("live session");
+        assert!(!out.new_session);
+        assert_eq!(out.context_len, 2);
+        // Idle past the cutoff: this would be a fresh session — refused,
+        // and the stale context is left untouched for eviction.
+        assert_eq!(t.track_existing(1, "c", 151), None);
+        assert_eq!(t.context(1, 100), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn export_copies_and_import_installs() {
+        let cfg = TrackerConfig {
+            idle_cutoff_secs: 60,
+            ..TrackerConfig::default()
+        };
+        let src = SessionTracker::new(cfg);
+        let dst = SessionTracker::new(cfg);
+        src.track(1, "a", 100);
+        src.track(1, "b", 110);
+        src.track(2, "x", 10); // idle at now=120
+        let batch = src.export_sessions(120, |_| true);
+        assert_eq!(batch.sessions.len(), 1);
+        assert_eq!(batch.skipped_idle, 1);
+        assert_eq!(batch.sessions[0].user, 1);
+        assert_eq!(batch.sessions[0].queries, vec!["a", "b"]);
+        assert_eq!(batch.sessions[0].last_seen, 110);
+        // Copy semantics: the source still serves the session.
+        assert_eq!(src.context(1, 120), vec!["a", "b"]);
+        assert!(dst.import_session(&batch.sessions[0]));
+        assert_eq!(dst.context(1, 120), vec!["a", "b"]);
+        assert_eq!(dst.active_sessions(), 1);
+    }
+
+    #[test]
+    fn import_never_clobbers_newer_resident_session() {
+        let t = SessionTracker::new(TrackerConfig::default());
+        t.track(7, "fresh", 500);
+        let stale = SessionExport {
+            user: 7,
+            queries: vec!["old".into()],
+            last_seen: 400,
+        };
+        assert!(!t.import_session(&stale));
+        assert_eq!(t.context(7, 500), vec!["fresh"]);
+        // Equal timestamps also keep the resident session (>= rule).
+        let tied = SessionExport {
+            user: 7,
+            queries: vec!["tied".into()],
+            last_seen: 500,
+        };
+        assert!(!t.import_session(&tied));
+        assert_eq!(t.context(7, 500), vec!["fresh"]);
+        // A strictly newer export replaces it.
+        let newer = SessionExport {
+            user: 7,
+            queries: vec!["newer".into()],
+            last_seen: 501,
+        };
+        assert!(t.import_session(&newer));
+        assert_eq!(t.context(7, 501), vec!["newer"]);
         assert_eq!(t.active_sessions(), 1);
     }
 

@@ -1,0 +1,172 @@
+//! Session handoff coverage: the export/import primitives under the exact
+//! conditions a live membership change produces.
+//!
+//! The unit tests in `session.rs` pin the basic semantics; this suite
+//! covers the edges that decide whether a handoff is *correct*:
+//!
+//! * capacity mismatch — an exported window larger than the destination
+//!   ring truncates to the **newest** queries (the suffix is what
+//!   VMM-family models match on);
+//! * the 30-minute rule at its exact boundary — a session idle for
+//!   precisely the cutoff still moves, one second more and it is skipped,
+//!   and the carried `last_seen` means the clock keeps running on the new
+//!   home from where the old home left it;
+//! * idle sessions are skipped and accounted, not silently dropped;
+//! * an import racing a live `track` on the same stripe — the newest-wins
+//!   rule means a resident session that advanced past the export can
+//!   never be clobbered by it, no matter the interleaving.
+
+use sqp_serve::{SessionExport, SessionTracker, TrackerConfig};
+use std::sync::Arc;
+
+#[test]
+fn import_truncates_to_destination_capacity_keeping_newest() {
+    let src = SessionTracker::new(TrackerConfig {
+        context_capacity: 8,
+        ..TrackerConfig::default()
+    });
+    for (i, q) in ["q1", "q2", "q3", "q4", "q5"].iter().enumerate() {
+        src.track(1, q, 100 + i as u64);
+    }
+    let batch = src.export_sessions(110, |_| true);
+    assert_eq!(
+        batch.sessions[0].queries,
+        vec!["q1", "q2", "q3", "q4", "q5"]
+    );
+
+    // A destination with a smaller window keeps the newest suffix.
+    let dst = SessionTracker::new(TrackerConfig {
+        context_capacity: 2,
+        ..TrackerConfig::default()
+    });
+    assert!(dst.import_session(&batch.sessions[0]));
+    assert_eq!(dst.context(1, 110), vec!["q4", "q5"]);
+
+    // And the handed-off session *continues* — tracking on the new home
+    // appends, it does not reset (the whole point of the handoff).
+    let out = dst.track_existing(1, "q6", 120).expect("live continuation");
+    assert!(!out.new_session, "handoff must not reset the session");
+    assert_eq!(dst.context(1, 120), vec!["q5", "q6"]);
+}
+
+#[test]
+fn export_respects_the_idle_boundary_exactly() {
+    let cfg = TrackerConfig {
+        idle_cutoff_secs: 60,
+        ..TrackerConfig::default()
+    };
+    let src = SessionTracker::new(cfg);
+    src.track(1, "edge", 100); // last_seen = 100
+
+    // Idle for exactly the cutoff: still a live session, still exported.
+    let batch = src.export_sessions(160, |_| true);
+    assert_eq!(batch.sessions.len(), 1);
+    assert_eq!(batch.skipped_idle, 0);
+
+    // One second past: dead under the 30-minute rule, skipped and
+    // accounted.
+    let batch = src.export_sessions(161, |_| true);
+    assert!(batch.sessions.is_empty());
+    assert_eq!(batch.skipped_idle, 1);
+}
+
+#[test]
+fn carried_last_seen_keeps_the_idle_clock_running_on_the_new_home() {
+    let cfg = TrackerConfig {
+        idle_cutoff_secs: 60,
+        ..TrackerConfig::default()
+    };
+    let src = SessionTracker::new(cfg);
+    let dst = SessionTracker::new(cfg);
+    src.track(1, "a", 100);
+
+    // Export at 130: the session is 30 seconds into its idle budget.
+    let batch = src.export_sessions(130, |_| true);
+    assert_eq!(batch.sessions[0].last_seen, 100);
+    assert!(dst.import_session(&batch.sessions[0]));
+
+    // On the new home the budget did NOT reset at import time: the
+    // session expires at 100 + 60, not 130 + 60.
+    assert_eq!(dst.context(1, 160), vec!["a"]);
+    assert!(dst.context(1, 161).is_empty());
+    assert_eq!(
+        dst.track_existing(1, "b", 161),
+        None,
+        "an expired handed-off session must not continue"
+    );
+}
+
+#[test]
+fn filter_selects_exactly_the_moved_set() {
+    let src = SessionTracker::new(TrackerConfig {
+        idle_cutoff_secs: 1_000,
+        ..TrackerConfig::default()
+    });
+    for u in 0..20 {
+        src.track(u, "q", 100);
+    }
+    // Only even users move (stand-in for "users the new ring routes
+    // elsewhere").
+    let batch = src.export_sessions(100, |u| u % 2 == 0);
+    let users: Vec<u64> = batch.sessions.iter().map(|s| s.user).collect();
+    assert_eq!(users, (0..20).filter(|u| u % 2 == 0).collect::<Vec<_>>());
+    assert_eq!(batch.skipped_idle, 0);
+    // Copy semantics: nothing left the source.
+    assert_eq!(src.active_sessions(), 20);
+}
+
+#[test]
+fn import_racing_a_live_track_on_the_same_stripe_never_clobbers() {
+    // One stripe: the racing track and import contend on the same lock,
+    // which is the worst case a handoff import can hit.
+    let cfg = TrackerConfig {
+        shards: 1,
+        idle_cutoff_secs: u64::MAX / 2,
+        ..TrackerConfig::default()
+    };
+    let t = Arc::new(SessionTracker::new(cfg));
+    t.track(1, "seed", 1_000);
+    let stale = t.export_sessions(1_000, |u| u == 1).sessions.remove(0);
+    assert_eq!(stale.last_seen, 1_000);
+
+    std::thread::scope(|scope| {
+        // The session keeps advancing on its (still-)home stripe...
+        let tracker = Arc::clone(&t);
+        scope.spawn(move || {
+            for i in 0..5_000u64 {
+                tracker.track(1, "live", 1_001 + i);
+            }
+        });
+        // ...while the stale export is hammered at it. Every attempt must
+        // lose: the resident `last_seen` is already >= the export's.
+        let tracker = Arc::clone(&t);
+        scope.spawn(move || {
+            for _ in 0..5_000 {
+                assert!(
+                    !tracker.import_session(&stale),
+                    "a stale import must never clobber a session that advanced"
+                );
+            }
+        });
+        // Meanwhile imports of *other* users interleave on the same
+        // stripe and must all land exactly once.
+        let tracker = Arc::clone(&t);
+        scope.spawn(move || {
+            for u in 2..=100u64 {
+                let export = SessionExport {
+                    user: u,
+                    queries: vec!["moved".into()],
+                    last_seen: 2_000,
+                };
+                assert!(tracker.import_session(&export));
+            }
+        });
+    });
+
+    // User 1's live continuation survived intact and the gauge is exact.
+    let context = t.context(1, 10_000);
+    assert_eq!(context.last().map(String::as_str), Some("live"));
+    assert!(!context.iter().any(|q| q == "seed" && context.len() == 1));
+    assert_eq!(t.active_sessions(), 100);
+    assert_eq!(t.context(50, 10_000), vec!["moved"]);
+}

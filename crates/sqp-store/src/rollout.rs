@@ -133,7 +133,9 @@ pub trait RouterPublish {
     /// hook tests use to hold the tier mid-roll, and operators use to
     /// pace a canary bake.
     ///
-    /// Per replica, in index order: read + validate the file (container
+    /// Per replica, in id order over the **live** membership (a tier mid-
+    /// reconfiguration rolls whatever replicas it has, draining ones
+    /// included — they are still serving): read + validate the file (container
     /// checksum and section structure), check its metadata matches the
     /// first successful load (a file swapped mid-roll must not split the
     /// tier across *three* generations), and atomically publish. Failures
@@ -171,7 +173,11 @@ impl RouterPublish for RouterEngine {
     ) -> RollReport {
         let path = path.as_ref();
         let mut report = RollReport::default();
-        for replica in 0..self.replica_count() {
+        // Pin the membership once: replicas joining mid-roll are not part
+        // of this roll (they seed from the freshest replica on join), and
+        // replicas retired mid-roll keep their handles alive via the ids
+        // captured here.
+        for replica in self.replica_ids().into_iter().map(|id| id as usize) {
             if report.aborted {
                 report.skipped.push(replica);
                 continue;

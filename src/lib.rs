@@ -26,10 +26,10 @@ pub mod prelude {
     pub use sqp_common::{QueryId, QuerySeq};
     pub use sqp_core::Recommender;
     pub use sqp_net::{
-        EndpointConfig, NetClient, NetServer, RemoteConfig, RemoteEngine, RemoteOutcome,
-        ServeAnswer, ServerConfig,
+        EndpointConfig, EndpointSetError, NetClient, NetServer, RemoteConfig, RemoteEngine,
+        RemoteOutcome, ServeAnswer, ServerConfig,
     };
-    pub use sqp_router::{RouterConfig, RouterEngine, RouterStats};
+    pub use sqp_router::{HandoffReport, MembershipError, RouterConfig, RouterEngine, RouterStats};
     pub use sqp_serve::{EngineConfig, ModelSnapshot, ServeEngine, ServeSurface, SuggestRequest};
     pub use sqp_store::{
         load_snapshot, save_snapshot, RetrainConfig, Retrainer, RollPolicy, RouterPublish,
