@@ -21,14 +21,16 @@
 //! * **Replayability** — the deterministic phases (static membership)
 //!   fold every outcome into an FNV digest that is bit-identical across
 //!   runs of the same seed. A final *churn* phase runs membership verbs
-//!   **concurrently** with the workers to shake out races; its invariants
-//!   hold but its interleavings are real, so it is excluded from the
-//!   content digest.
+//!   **and a rolling snapshot publish** concurrently with the workers to
+//!   shake out races (a publish takes no membership lock, so mid-roll
+//!   joins and retires are real); its invariants hold but its
+//!   interleavings are real, so it is excluded from the content digest.
 
 use sqp_common::rng::{Rng, StdRng};
 use sqp_logsim::RawLogRecord;
 use sqp_router::{RouterConfig, RouterEngine};
 use sqp_serve::{ModelSnapshot, ModelSpec, SuggestRequest, TrainingConfig};
+use sqp_store::{save_snapshot, RollPolicy, RouterPublish, SnapshotMeta};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -449,12 +451,27 @@ pub fn run_membership_soak(seed: u64) -> MembershipSoakReport {
         "every lost session (and only those) must reset after the kill"
     );
 
-    // Phase 4 — concurrent churn: a join, a drain, and a retire race the
-    // workers. Invariants hold (no established user resets, accounting
-    // balances) but interleavings are real, so this ledger stays out of
-    // the digest.
+    // Phase 4 — concurrent churn: a join, a drain, a retire, AND a
+    // rolling snapshot publish race the workers. The publication path
+    // takes no membership lock, so the roll genuinely interleaves with
+    // the verbs: a replica may retire mid-roll (recorded, never
+    // panicked) and a joiner may seed behind the canary (repaired by
+    // the roll's trailing pass). Invariants hold (no established user
+    // resets, accounting balances, the tier converges) but
+    // interleavings are real, so this ledger stays out of the digest.
     let churn_now = 1_000 + 4 * 300;
-    let churn_tallies: Vec<PhaseTally> = std::thread::scope(|scope| {
+    let spool = std::env::temp_dir().join(format!(
+        "sqp-membership-spool-{}-{seed}.sqps",
+        std::process::id()
+    ));
+    let roll_model = tagged_snapshot();
+    save_snapshot(
+        &spool,
+        &roll_model,
+        &SnapshotMeta::describe(&roll_model, 1, 12),
+    )
+    .expect("spool the churn snapshot");
+    let (churn_tallies, roll) = std::thread::scope(|scope| {
         let handles: Vec<_> = states
             .iter_mut()
             .enumerate()
@@ -465,6 +482,11 @@ pub fn run_membership_soak(seed: u64) -> MembershipSoakReport {
                 })
             })
             .collect();
+        let roller = {
+            let router = &router;
+            let spool = &spool;
+            scope.spawn(move || router.rolling_publish(spool, RollPolicy::ContinueOnFailure))
+        };
         let joined = router.join_replica(churn_now);
         std::thread::yield_now();
         let drained = router
@@ -474,8 +496,14 @@ pub fn run_membership_soak(seed: u64) -> MembershipSoakReport {
         router
             .retire_replica(joined.replica)
             .expect("retire the churn replica");
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        let tallies: Vec<PhaseTally> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        (tallies, roller.join().expect("churn roll thread"))
     });
+    let _ = std::fs::remove_file(&spool);
+    assert!(
+        !roll.aborted && roll.failed.is_empty(),
+        "a valid file rolled onto a churning tier must not fail: {roll:?}"
+    );
     let churn = PhaseTally::merge(&churn_tallies);
     assert_eq!(churn.answered + churn.refused, churn.sent);
     assert_eq!(
@@ -485,6 +513,15 @@ pub fn run_membership_soak(seed: u64) -> MembershipSoakReport {
 
     let stats = router.stats();
     assert!(stats.draining.is_empty(), "churn left a replica draining");
+    assert!(
+        stats.is_converged(),
+        "the churn roll must leave no replica behind: {stats:?}"
+    );
+    assert_eq!(
+        stats.max_generation(),
+        1,
+        "every survivor serves the rolled generation exactly once: {stats:?}"
+    );
     let report = MembershipSoakReport {
         workers: WORKERS,
         steady,

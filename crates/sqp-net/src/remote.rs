@@ -60,8 +60,12 @@
 //! Operations that raced the swap and still hold the old snapshot may
 //! make one final attempt against a retired endpoint; that attempt either
 //! completes (the wait covers it) or fails and the normal failover path
-//! absorbs it. Membership changes serialize on a control-plane mutex that
-//! serving never touches.
+//! absorbs it. A straggler that begins only after the wait sampled zero
+//! cannot park a connection either: checkin on a retired endpoint drops
+//! the connection (a client-side close) instead of pooling it, so no
+//! live connection outlasts the straggler's own bounded lifetime.
+//! Membership changes serialize on a control-plane mutex that serving
+//! never touches.
 
 use crate::admin::AdminSurface;
 use crate::client::{BatchAnswer, NetClient, NetError, ServeAnswer};
@@ -78,7 +82,7 @@ use std::fmt;
 use std::hash::Hasher;
 use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
@@ -298,6 +302,14 @@ struct Endpoint {
     /// checkout and checkin/drop). Retirement waits for this to reach
     /// zero before draining the pool.
     in_flight: AtomicU64,
+    /// Set by [`RemoteEngine::retire_endpoint`] right after the swap.
+    /// The in-flight wait can miss an operation that loaded the old
+    /// snapshot but had not reached `begin_op` when the wait sampled
+    /// zero; this flag makes such a straggler's checkin *drop* its
+    /// connection instead of pooling it, so every connection to a
+    /// retired endpoint is still client-closed within one operation's
+    /// bounded lifetime rather than parked in a pool nothing drains.
+    retired: AtomicBool,
 }
 
 impl Endpoint {
@@ -311,6 +323,7 @@ impl Endpoint {
             breaker: Breaker::new(remote.breaker),
             counters: EndpointCounters::default(),
             in_flight: AtomicU64::new(0),
+            retired: AtomicBool::new(false),
         };
         {
             let mut pool = ep.lock_pool();
@@ -506,13 +519,18 @@ impl RemoteEngine {
 
     /// Retire an endpoint from the live set, under traffic.
     ///
-    /// Three steps, in an order that bounds what traffic can observe:
+    /// Four steps, in an order that bounds what traffic can observe:
     /// the endpoint is swapped out **first** (no new operation scans
-    /// it), then its in-flight operations are waited out (bounded by one
-    /// operation's worst case, `deadline + attempt_timeout`, through the
-    /// [`Clock`] seam), then its connection pool is drained so the
-    /// client initiates every TCP close. Refuses to retire the last
-    /// endpoint. Returns the new membership generation.
+    /// it), then marked retired (any later checkin on it drops the
+    /// connection instead of pooling it), then its in-flight operations
+    /// are waited out (bounded by one operation's worst case,
+    /// `deadline + attempt_timeout`, through the [`Clock`] seam), then
+    /// its connection pool is drained. The client therefore initiates
+    /// every TCP close: pooled connections close in the drain, and a
+    /// straggler that raced the swap — old snapshot loaded, `begin_op`
+    /// not yet reached when the wait sampled zero — closes its own
+    /// connection at checkin, within its bounded lifetime. Refuses to
+    /// retire the last endpoint. Returns the new membership generation.
     pub fn retire_endpoint(&self, serve_addr: SocketAddr) -> Result<u64, EndpointSetError> {
         let _guard = self.lock_membership();
         let current = self.snapshot();
@@ -526,6 +544,11 @@ impl RemoteEngine {
         let mut next = current.as_ref().clone();
         next.remove(at);
         let generation = self.endpoints.store(Arc::new(next));
+        // From here every checkin on the victim drops its connection
+        // instead of pooling it — the backstop for an operation that
+        // loaded the old snapshot but had not yet reached `begin_op`
+        // when the wait below sampled zero.
+        victim.retired.store(true, Ordering::Release);
 
         // Wait out operations that already hold the old snapshot. One
         // operation lives at most deadline + one attempt timeout, so a
@@ -621,7 +644,15 @@ impl RemoteEngine {
     }
 
     fn checkin(&self, ep: &Endpoint, client: NetClient) {
-        let mut pool = ep.lock_pool();
+        let pool = &mut *ep.lock_pool();
+        // Checked under the pool lock: retire sets the flag *before* its
+        // final pool drain, so a checkin that acquires the lock after the
+        // drain necessarily observes the flag and drops (client-closes)
+        // the connection, while one that acquires it before is cleared by
+        // the drain. No interleaving re-pools a retired connection.
+        if ep.retired.load(Ordering::Acquire) {
+            return;
+        }
         if pool.len() < self.cfg.pool_cap {
             pool.push(client);
         }
@@ -1109,5 +1140,49 @@ impl AdminSurface for RemoteEngine {
             }
         }
         total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// The retire-vs-straggler race, white-box: an operation that loaded
+    /// the old endpoint snapshot before the swap but only checked a
+    /// connection out after retire's in-flight wait and pool drain must
+    /// not leave that connection pooled on the retired endpoint — checkin
+    /// drops it, so the client still initiates the close within the
+    /// straggler's own lifetime.
+    #[test]
+    fn checkin_on_a_retired_endpoint_drops_instead_of_pooling() {
+        // A live listener so connects succeed; it never has to speak.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let engine = RemoteEngine::connect(
+            vec![EndpointConfig::serve_only(addr)],
+            RemoteConfig {
+                pool_warmup: 0,
+                ..RemoteConfig::default()
+            },
+        );
+        let endpoints = engine.snapshot();
+        let ep = &endpoints[0];
+
+        let client = engine.checkout(ep, Duration::from_millis(200)).unwrap();
+        engine.checkin(ep, client);
+        assert_eq!(ep.lock_pool().len(), 1, "a live endpoint pools checkins");
+
+        // The retire discipline on the victim: flag first, then drain.
+        ep.retired.store(true, Ordering::Release);
+        ep.lock_pool().clear();
+
+        let straggler = engine.checkout(ep, Duration::from_millis(200)).unwrap();
+        engine.checkin(ep, straggler);
+        assert_eq!(
+            ep.lock_pool().len(),
+            0,
+            "a retired endpoint must never re-pool a connection"
+        );
     }
 }

@@ -29,7 +29,10 @@
 //! swap. The cell's generation counter is the **ring generation** an
 //! operator watches ([`RouterStats::ring_generation`]).
 //!
-//! Three membership verbs, all serialized by one control-plane mutex:
+//! Three membership verbs, all serialized by one control-plane mutex
+//! (which [`RouterEngine::publish`] also takes, so a fan-out and a join
+//! cannot interleave — see that method's docs for why that ordering
+//! matters; serving never touches the mutex):
 //!
 //! * [`join_replica`](RouterEngine::join_replica) — grow the tier by one.
 //!   Two-phase: compute the would-be ring, **copy** the moved users'
@@ -587,7 +590,17 @@ impl RouterEngine {
     /// publish hands the replica known-good bytes, superseding whatever
     /// failed before. Returns the tier's minimum generation after the
     /// fan-out (the roll's trailing edge).
+    ///
+    /// Serialized with the membership verbs on the control-plane mutex: an
+    /// unserialized fan-out racing [`join_replica`](Self::join_replica)
+    /// could cover only the pre-join slots while the newcomer seeded from
+    /// the pre-publish snapshot — a replica a full generation behind with
+    /// no roll in flight. Under the lock a join either lands first (the
+    /// newcomer is in the slot set this fan-out covers) or after (it seeds
+    /// from a replica the fan-out already upgraded). Serving is unaffected;
+    /// only reconfiguration waits.
     pub fn publish(&self, snapshot: Arc<ModelSnapshot>) -> u64 {
+        let _m = self.lock_membership();
         let state = self.state();
         for slot in &state.slots {
             slot.engine.publish(Arc::clone(&snapshot));
@@ -604,18 +617,30 @@ impl RouterEngine {
     /// Publish to the single replica with `id` (one atomic swap) and mark
     /// it active. This is the step primitive rolling upgrades are built
     /// from. Returns the replica's new (tier-comparable) generation.
+    /// Publishers running concurrently with membership changes use
+    /// [`try_publish_to`](Self::try_publish_to) instead — an id is not a
+    /// handle, and the replica it names may retire between resolutions.
     ///
     /// # Panics
     ///
     /// Panics if no live replica has this id.
     pub fn publish_to(&self, id: usize, snapshot: Arc<ModelSnapshot>) -> u64 {
+        self.try_publish_to(id, snapshot)
+            .unwrap_or_else(|| panic!("no live replica with id {id}"))
+    }
+
+    /// Fallible [`publish_to`](Self::publish_to): resolves `id` against
+    /// the **current** membership and returns `None` — touching nothing —
+    /// when no live replica has it (retired or removed by a concurrent
+    /// membership change). The publication path a rolling upgrade uses,
+    /// because a roll takes no membership lock and the tier may shrink
+    /// under it.
+    pub fn try_publish_to(&self, id: usize, snapshot: Arc<ModelSnapshot>) -> Option<u64> {
         let state = self.state();
-        let slot = state
-            .slot(id as u32)
-            .unwrap_or_else(|| panic!("no live replica with id {id}"));
+        let slot = state.slot(id as u32)?;
         slot.engine.publish(snapshot);
         Self::lock_health_slot(slot).quarantined = false;
-        slot.generation()
+        Some(slot.generation())
     }
 
     /// Pin the replica with `id` on its current (last-good) snapshot and
@@ -626,13 +651,23 @@ impl RouterEngine {
     ///
     /// Panics if no live replica has this id.
     pub fn mark_quarantined(&self, id: usize, error: impl Into<String>) {
+        if !self.try_mark_quarantined(id, error) {
+            panic!("no live replica with id {id}");
+        }
+    }
+
+    /// Fallible [`mark_quarantined`](Self::mark_quarantined): returns
+    /// whether `id` still named a live replica (and was marked). A
+    /// replica that left the tier mid-roll has nothing to quarantine.
+    pub fn try_mark_quarantined(&self, id: usize, error: impl Into<String>) -> bool {
         let state = self.state();
-        let slot = state
-            .slot(id as u32)
-            .unwrap_or_else(|| panic!("no live replica with id {id}"));
+        let Some(slot) = state.slot(id as u32) else {
+            return false;
+        };
         let mut health = Self::lock_health_slot(slot);
         health.quarantined = true;
         health.last_error = Some(error.into());
+        true
     }
 
     /// Clear the quarantine on replica `id` without publishing (operator
@@ -1302,6 +1337,51 @@ mod tests {
         }
         // Bound: an undrained kill loses ≤ 2/N of sessions.
         assert!(lost.len() <= 2 * 400 / 4, "lost {}", lost.len());
+    }
+
+    #[test]
+    fn concurrent_fan_out_and_membership_churn_stay_converged() {
+        // The race the control-plane mutex exists to prevent: a fan-out
+        // loading the pre-join slot set while the joiner seeds from the
+        // pre-publish snapshot would leave a generation-behind newcomer
+        // with no roll in flight. With publish serialized against the
+        // verbs, every quiescent interleaving converges.
+        const PUBLISHES: u64 = 20;
+        let r = router(3);
+        std::thread::scope(|scope| {
+            let publisher = scope.spawn(|| {
+                for i in 0..PUBLISHES {
+                    r.publish(snapshot(&format!("gen{i}")));
+                }
+            });
+            for _ in 0..6 {
+                let id = r.join_replica(0).replica;
+                std::thread::yield_now();
+                r.begin_drain(id, 0).unwrap();
+                r.retire_replica(id).unwrap();
+            }
+            publisher.join().unwrap();
+        });
+        let stats = r.stats();
+        assert!(
+            stats.is_converged(),
+            "a joiner fell behind a racing fan-out: {stats:?}"
+        );
+        assert_eq!(stats.max_generation(), PUBLISHES);
+        assert_eq!(stats.replica_ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn try_variants_are_no_ops_on_a_departed_replica() {
+        let r = router(3);
+        r.remove_replica(2).unwrap();
+        assert_eq!(r.try_publish_to(2, snapshot("new")), None);
+        assert!(!r.try_mark_quarantined(2, "late quarantine"));
+        assert_eq!(r.stats().quarantined(), 0, "departed id must mark nothing");
+        // On a live replica the try forms behave exactly like the verbs.
+        assert_eq!(r.try_publish_to(0, snapshot("new")), Some(1));
+        assert!(r.try_mark_quarantined(1, "bad bytes"));
+        assert!(r.is_quarantined(1));
     }
 
     #[test]

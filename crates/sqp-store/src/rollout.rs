@@ -19,7 +19,11 @@
 //!   atomically). A replica whose load or validation fails is
 //!   **quarantined** — pinned serving its last-good snapshot, failure
 //!   recorded in [`RouterStats`](sqp_router::RouterStats) — and the roll
-//!   continues or aborts by [`RollPolicy`].
+//!   continues or aborts by [`RollPolicy`]. Rolls run concurrently with
+//!   live membership changes: a replica that leaves the tier mid-roll is
+//!   recorded in [`RollReport::retired`] (never panicked on), and one
+//!   that joins behind the leading edge is brought up by a trailing pass
+//!   (see [`RouterPublish::rolling_publish_with`]).
 //!
 //! Everything runs through the [`FsIo`] seam, so the chaos harness can
 //! fail exactly one replica's read mid-roll and replay it bit-identically
@@ -30,6 +34,7 @@ use crate::format::{load_snapshot_with, SnapshotMeta};
 use crate::warm::Published;
 use sqp_common::fsio::{FsIo, RealFs};
 use sqp_router::RouterEngine;
+use std::collections::BTreeSet;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -61,21 +66,29 @@ pub struct RollStep {
 /// Outcome of a [`RouterPublish::rolling_publish`] run.
 #[derive(Debug, Default)]
 pub struct RollReport {
-    /// Metadata of the target snapshot (from the first successful load);
-    /// `None` when no replica managed to read the file.
+    /// Metadata of the target snapshot (from the first load that reached
+    /// a publish); `None` when no replica managed to read the file.
     pub meta: Option<SnapshotMeta>,
-    /// Replicas now serving the new generation, in upgrade order.
+    /// Replicas now serving the new generation, in upgrade order
+    /// (replicas that joined mid-roll and were repaired by the trailing
+    /// pass included).
     pub upgraded: Vec<usize>,
     /// Replicas that failed and were quarantined, with their errors.
     pub failed: Vec<(usize, String)>,
     /// Replicas never attempted because the roll aborted first.
     pub skipped: Vec<usize>,
+    /// Replicas that left the tier mid-roll (a concurrent retire or
+    /// remove) before their step could publish. Not counted against
+    /// [`complete`](Self::complete): a replica that is gone serves
+    /// nothing, on any generation.
+    pub retired: Vec<usize>,
     /// True when [`RollPolicy::AbortOnFailure`] stopped the roll early.
     pub aborted: bool,
 }
 
 impl RollReport {
-    /// True when every replica now serves the target generation.
+    /// True when every replica still in the tier now serves the target
+    /// generation.
     pub fn complete(&self) -> bool {
         self.failed.is_empty() && self.skipped.is_empty()
     }
@@ -133,14 +146,31 @@ pub trait RouterPublish {
     /// hook tests use to hold the tier mid-roll, and operators use to
     /// pace a canary bake.
     ///
-    /// Per replica, in id order over the **live** membership (a tier mid-
-    /// reconfiguration rolls whatever replicas it has, draining ones
-    /// included — they are still serving): read + validate the file (container
-    /// checksum and section structure), check its metadata matches the
-    /// first successful load (a file swapped mid-roll must not split the
-    /// tier across *three* generations), and atomically publish. Failures
-    /// quarantine that replica — it keeps serving its last-good snapshot —
-    /// and the roll continues or aborts per `policy`.
+    /// Per replica, in id order over the membership pinned at roll start
+    /// (draining replicas included — they are still serving): read +
+    /// validate the file (container checksum and section structure),
+    /// check its metadata matches the first load that reached a publish
+    /// (a file swapped mid-roll must not split the tier across *three*
+    /// generations), and atomically publish. Failures quarantine that
+    /// replica — it keeps serving its last-good snapshot — and the roll
+    /// continues or aborts per `policy`.
+    ///
+    /// A roll takes no membership lock, so the tier may reconfigure
+    /// under it; both directions are absorbed rather than raced:
+    ///
+    /// * a replica **retired or removed mid-roll** is re-resolved at its
+    ///   step against the live tier and recorded in
+    ///   [`RollReport::retired`] (no step callback — it is no longer part
+    ///   of the tier being upgraded), never panicked on;
+    /// * a replica that **joined mid-roll** seeds from the freshest live
+    ///   replica, which is the roll's leading edge once the canary has
+    ///   published — but a join landing *before* that would seed the old
+    ///   generation and end the roll a full generation behind with no
+    ///   roll in flight. A trailing pass re-checks the live membership
+    ///   after the pinned pass and rolls onto any such joiner (own
+    ///   read-and-validate step, `on_step` fired, reported in
+    ///   `upgraded`/`failed` like any other replica) until a check finds
+    ///   none.
     fn rolling_publish_with(
         &self,
         io: &dyn FsIo,
@@ -173,49 +203,103 @@ impl RouterPublish for RouterEngine {
     ) -> RollReport {
         let path = path.as_ref();
         let mut report = RollReport::default();
-        // Pin the membership once: replicas joining mid-roll are not part
-        // of this roll (they seed from the freshest replica on join), and
-        // replicas retired mid-roll keep their handles alive via the ids
-        // captured here.
-        for replica in self.replica_ids().into_iter().map(|id| id as usize) {
+        // Pin the membership once for the main pass. Ids are not handles:
+        // each step re-resolves its id against the live tier (see the
+        // trait docs for how departures and joins mid-roll are absorbed).
+        let pinned: Vec<usize> = self
+            .replica_ids()
+            .into_iter()
+            .map(|id| id as usize)
+            .collect();
+        let mut attempted: BTreeSet<usize> = pinned.iter().copied().collect();
+        for replica in pinned {
             if report.aborted {
                 report.skipped.push(replica);
                 continue;
             }
-            let attempt = load_snapshot_with(io, path)
-                .map_err(|error| error.to_string())
-                .and_then(|(snapshot, meta)| match &report.meta {
-                    // The file changed identity mid-roll: publishing it
-                    // would split the tier across three generations, so
-                    // treat it as this replica's failure.
-                    Some(first) if *first != meta => Err(format!(
-                        "snapshot changed mid-roll: first replica loaded generation {}, \
-                         this replica loaded generation {}",
-                        first.generation, meta.generation
-                    )),
-                    _ => {
-                        report.meta.get_or_insert(meta);
-                        Ok(self.publish_to(replica, Arc::new(snapshot)))
-                    }
-                });
-            let outcome = match attempt {
-                Ok(generation) => {
-                    report.upgraded.push(replica);
-                    Ok(generation)
+            roll_step(self, io, path, policy, &mut report, on_step, replica);
+        }
+        // Trailing pass: roll onto replicas that joined mid-roll and
+        // seeded behind the leading edge, until a check finds none. Each
+        // id is attempted at most once, so the loop terminates as soon as
+        // joins stop arriving. An aborted roll leaves trailing joiners
+        // alone for the same reason it leaves the pinned tail skipped.
+        while !report.aborted {
+            let stats = self.stats();
+            let target = stats.max_generation();
+            let trailing: Vec<usize> = stats
+                .replicas
+                .iter()
+                .filter(|row| row.generation < target && !attempted.contains(&(row.id as usize)))
+                .map(|row| row.id as usize)
+                .collect();
+            if trailing.is_empty() {
+                break;
+            }
+            for replica in trailing {
+                attempted.insert(replica);
+                if report.aborted {
+                    report.skipped.push(replica);
+                    continue;
                 }
-                Err(error) => {
-                    self.mark_quarantined(replica, error.clone());
-                    report.failed.push((replica, error.clone()));
-                    if policy == RollPolicy::AbortOnFailure {
-                        report.aborted = true;
-                    }
-                    Err(error)
-                }
-            };
-            on_step(&RollStep { replica, outcome });
+                roll_step(self, io, path, policy, &mut report, on_step, replica);
+            }
         }
         report
     }
+}
+
+/// One replica's step of a roll: load, validate, identity-check, publish,
+/// with quarantine on failure — all against the **live** membership. A
+/// replica whose id no longer resolves (it retired or was removed since
+/// the roll pinned it) goes to `report.retired` with no `on_step` call.
+fn roll_step(
+    router: &RouterEngine,
+    io: &dyn FsIo,
+    path: &Path,
+    policy: RollPolicy,
+    report: &mut RollReport,
+    on_step: &mut dyn FnMut(&RollStep),
+    replica: usize,
+) {
+    let attempt = load_snapshot_with(io, path)
+        .map_err(|error| error.to_string())
+        .and_then(|(snapshot, meta)| match &report.meta {
+            // The file changed identity mid-roll: publishing it would
+            // split the tier across three generations, so treat it as
+            // this replica's failure.
+            Some(first) if *first != meta => Err(format!(
+                "snapshot changed mid-roll: first replica loaded generation {}, \
+                 this replica loaded generation {}",
+                first.generation, meta.generation
+            )),
+            _ => Ok((snapshot, meta)),
+        });
+    let outcome = match attempt {
+        Ok((snapshot, meta)) => match router.try_publish_to(replica, Arc::new(snapshot)) {
+            Some(generation) => {
+                report.meta.get_or_insert(meta);
+                report.upgraded.push(replica);
+                Ok(generation)
+            }
+            None => {
+                report.retired.push(replica);
+                return;
+            }
+        },
+        Err(error) => {
+            if !router.try_mark_quarantined(replica, error.clone()) {
+                report.retired.push(replica);
+                return;
+            }
+            report.failed.push((replica, error.clone()));
+            if policy == RollPolicy::AbortOnFailure {
+                report.aborted = true;
+            }
+            Err(error)
+        }
+    };
+    on_step(&RollStep { replica, outcome });
 }
 
 #[cfg(test)]
@@ -385,6 +469,105 @@ mod tests {
         let stats = r.stats();
         assert_eq!(stats.max_generation(), 1);
         assert_eq!(stats.quarantined(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replica_retired_mid_roll_is_recorded_not_panicked() {
+        let dir = scratch("roll-retire");
+        let path = save(&dir, 1, "new");
+        let r = router();
+        let report =
+            r.rolling_publish_with(&RealFs, &path, RollPolicy::ContinueOnFailure, &mut |step| {
+                if step.replica == 0 {
+                    // Between replica 0's publish and replica 1's step,
+                    // replica 2 drains and retires — exactly the
+                    // concurrency a live tier allows, since rolls take no
+                    // membership lock.
+                    r.begin_drain(2, 0).unwrap();
+                    r.retire_replica(2).unwrap();
+                }
+            });
+        assert_eq!(report.upgraded, vec![0, 1, 3]);
+        assert_eq!(report.retired, vec![2]);
+        assert!(report.complete(), "a departed replica is not a failure");
+        assert!(r.stats().is_converged());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replica_removed_mid_roll_is_not_quarantined_posthumously() {
+        let dir = scratch("roll-remove");
+        let r = router();
+        // Every step fails (missing file); replica 2 vanishes after the
+        // canary's step, so its failure has no live replica to quarantine.
+        let report = r.rolling_publish_with(
+            &RealFs,
+            dir.join("missing.sqps"),
+            RollPolicy::ContinueOnFailure,
+            &mut |step| {
+                if step.replica == 0 {
+                    r.remove_replica(2).unwrap();
+                }
+            },
+        );
+        let failed_ids: Vec<usize> = report.failed.iter().map(|(id, _)| *id).collect();
+        assert_eq!(failed_ids, vec![0, 1, 3]);
+        assert_eq!(report.retired, vec![2]);
+        assert_eq!(r.stats().quarantined(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// An [`FsIo`] that joins a replica into the tier on the first read —
+    /// i.e. *before the canary publishes*, the one window where a joiner
+    /// seeds the old generation and the pinned pass would leave it behind.
+    struct JoinOnFirstRead<'a> {
+        router: &'a RouterEngine,
+        joined: std::sync::atomic::AtomicBool,
+    }
+
+    impl FsIo for JoinOnFirstRead<'_> {
+        fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+            if !self.joined.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                self.router.join_replica(0);
+            }
+            RealFs.read(path)
+        }
+        fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+            RealFs.write_atomic(path, bytes)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+            RealFs.rename(from, to)
+        }
+        fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+            RealFs.remove_file(path)
+        }
+        fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
+            RealFs.create_dir_all(dir)
+        }
+        fn list(&self, dir: &Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+            RealFs.list(dir)
+        }
+    }
+
+    #[test]
+    fn joiner_seeded_before_the_canary_is_repaired_by_the_trailing_pass() {
+        let dir = scratch("roll-join");
+        let path = save(&dir, 1, "new");
+        let r = router();
+        let io = JoinOnFirstRead {
+            router: &r,
+            joined: std::sync::atomic::AtomicBool::new(false),
+        };
+        let report = r.rolling_publish_with(&io, &path, RollPolicy::ContinueOnFailure, &mut |_| {});
+        // The joiner (id 4) seeded generation 0, so the pinned pass alone
+        // would have ended the roll with it a full generation behind and
+        // no roll in flight; the trailing pass rolls onto it.
+        assert_eq!(report.upgraded, vec![0, 1, 2, 3, 4]);
+        assert!(report.complete());
+        let stats = r.stats();
+        assert!(stats.is_converged(), "joiner left behind: {stats:?}");
+        assert_eq!(stats.max_generation(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
